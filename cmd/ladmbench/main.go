@@ -1,0 +1,88 @@
+// Command ladmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ladmbench -experiment all            # everything, fast scale
+//	ladmbench -experiment fig9 -scale 4  # one figure, bigger inputs
+//	ladmbench -experiment fig11 -full    # paper-size inputs (slow)
+//	ladmbench -experiment fig4 -workloads vecadd,sq-gemm
+//
+// Experiments: table1 table2 table3 table4 fig4 fig9 fig10 fig11 hwvalid
+// oversub scaling
+// summary. Scale divides the paper's input sizes; -full forces scale 1.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ladm/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "summary", "experiment to run, or 'all'")
+	scale := flag.Int("scale", 6, "input scale divisor (1 = paper size)")
+	full := flag.Bool("full", false, "run paper-size inputs (scale 1)")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = all CPUs)")
+	workloads := flag.String("workloads", "", "comma-separated workload subset")
+	csvPath := flag.String("csv", "", "append structured metric values to a CSV file")
+	flag.Parse()
+
+	o := experiments.Options{Scale: *scale, Workers: *workers}
+	if *full {
+		o.Scale = 1
+	}
+	if *workloads != "" {
+		o.Workloads = strings.Split(*workloads, ",")
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.ExperimentNames()
+	}
+	for _, name := range names {
+		start := time.Now()
+		res, err := experiments.Run(name, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ladmbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Text)
+		fmt.Printf("[%s completed in %s at scale 1/%d]\n\n", name, time.Since(start).Round(time.Millisecond), o.Scale)
+		if *csvPath != "" {
+			if err := appendCSV(*csvPath, res, o.Scale); err != nil {
+				fmt.Fprintf(os.Stderr, "ladmbench: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// appendCSV writes the experiment's structured values as
+// experiment,scale,metric,value rows.
+func appendCSV(path string, res *experiments.Result, scale int) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	keys := make([]string, 0, len(res.Values))
+	for k := range res.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := w.Write([]string{res.Name, fmt.Sprintf("%d", scale), k,
+			fmt.Sprintf("%g", res.Values[k])}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

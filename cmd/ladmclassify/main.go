@@ -1,0 +1,112 @@
+// Command ladmclassify runs LADM's index analysis on a single CUDA-style
+// index expression — the interactive window into Algorithm 1 and Table II.
+//
+// Usage:
+//
+//	ladmclassify '(by*16+ty)*(gDim.x*bDim.x) + m*16 + tx'
+//	ladmclassify -1d 'rowptr[gid] + m'       # the CSR neighbour walk: ITL
+//	ladmclassify -1d 'gid + m*bDim.x*gDim.x' # grid-stride loop: NL+stride
+//	ladmclassify -1d 'ranks[cols[gid + m]]'  # data-dependent gather: row 7
+//
+// The expression is the element index of one global array access, written
+// over the prime variables: tx/ty (threadIdx), bx/by (blockIdx), bDim.x,
+// gDim.x, m (the outer-loop induction variable), gid (= bx*bDim.x+tx);
+// anything else is a launch parameter; name[expr] is a data-dependent
+// lookup of another array's contents.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ladm/internal/compiler"
+	sym "ladm/internal/symbolic"
+)
+
+func parseDim(s string) (x, y int, err error) {
+	parts := strings.Split(s, "x")
+	if len(parts) > 2 {
+		return 0, 0, fmt.Errorf("bad dimension %q (want N or NxM)", s)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d", &x); err != nil {
+		return 0, 0, fmt.Errorf("bad dimension %q", s)
+	}
+	y = 1
+	if len(parts) == 2 {
+		if _, err := fmt.Sscanf(parts[1], "%d", &y); err != nil {
+			return 0, 0, fmt.Errorf("bad dimension %q", s)
+		}
+	}
+	return x, y, nil
+}
+
+func main() {
+	grid := flag.String("grid", "64x64", "grid dimensions (NxM)")
+	block := flag.String("block", "16x16", "block dimensions (NxM)")
+	oneD := flag.Bool("1d", false, "treat the grid as one-dimensional")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "ladmclassify: pass exactly one index expression (see -h)")
+		os.Exit(2)
+	}
+
+	expr, err := sym.Parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ladmclassify:", err)
+		os.Exit(1)
+	}
+	gx, gy, err := parseDim(*grid)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ladmclassify:", err)
+		os.Exit(1)
+	}
+	bx, by, err := parseDim(*block)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ladmclassify:", err)
+		os.Exit(1)
+	}
+	is2D := gy > 1 && !*oneD
+
+	cl := compiler.Classify(expr, is2D)
+	fmt.Printf("expression:     %s\n", expr)
+	fmt.Printf("normalized:     %s\n", sym.Normalize(expr))
+	fmt.Printf("loop-invariant: %s\n", cl.Invariant)
+	fmt.Printf("loop-variant:   %s\n", cl.Variant)
+	fmt.Printf("classification: %s (Table II row %d)\n", cl.Type, cl.Type.TableRow())
+	if cl.HasIndirect {
+		fmt.Println("                contains a data-dependent component")
+	}
+	if !cl.Stride.IsZero() {
+		env := sym.Env{
+			BDim: [3]int64{int64(bx), int64(by), 1},
+			GDim: [3]int64{int64(gx), int64(gy), 1},
+		}
+		fmt.Printf("stride:         %s = %d elements at grid %s block %s\n",
+			cl.Stride, cl.Stride.Eval(&env), *grid, *block)
+	}
+
+	var sched, place string
+	switch {
+	case cl.Type == compiler.NoLocality:
+		sched, place = "alignment-aware batching (Eq. 2)", "stride-aware interleaving (Eq. 1)"
+	case cl.Type.RowBinding():
+		sched = "row-binding"
+		place = "row-based"
+		if cl.Type.VerticalMotion() {
+			place = "column-based"
+		}
+	case cl.Type.ColBinding():
+		sched = "col-binding"
+		place = "row-based"
+		if cl.Type.VerticalMotion() {
+			place = "column-based"
+		}
+	case cl.Type == compiler.IntraThread:
+		sched, place = "kernel-wide", "kernel-wide chunks (+ RONCE bypassing)"
+	default:
+		sched, place = "kernel-wide", "kernel-wide chunks (default policy)"
+	}
+	fmt.Printf("LASP decision:  scheduler=%s, placement=%s\n", sched, place)
+}

@@ -1,0 +1,133 @@
+// Command ladmsim simulates one workload under one policy on one machine
+// and prints the full measurement record — the single-run probe next to
+// ladmbench's sweeps.
+//
+// Usage:
+//
+//	ladmsim -workload sq-gemm -policy ladm
+//	ladmsim -workload pagerank -policy h-coda -arch monolithic -scale 4
+//	ladmsim -list
+//
+// Machines: hier (Table III), hier-perlink (per-hop ring links),
+// monolithic, xbar-90, xbar-180, xbar-360, ring-1400, ring-2800, dgx.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ladm/internal/arch"
+	"ladm/internal/core"
+	"ladm/internal/kernels"
+	rt "ladm/internal/runtime"
+	"ladm/internal/stats"
+)
+
+func machine(name string) (arch.Config, error) {
+	switch name {
+	case "hier":
+		return arch.DefaultHierarchical(), nil
+	case "hier-perlink":
+		c := arch.DefaultHierarchical()
+		c.PerLinkRing = true
+		c.Name = "hier-4x4-perlink"
+		return c, nil
+	case "monolithic":
+		return arch.MonolithicGPU(), nil
+	case "xbar-90":
+		return arch.FourGPUSwitch(90), nil
+	case "xbar-180":
+		return arch.FourGPUSwitch(180), nil
+	case "xbar-360":
+		return arch.FourGPUSwitch(360), nil
+	case "ring-1400":
+		return arch.FourChipletRing(1400), nil
+	case "ring-2800":
+		return arch.FourChipletRing(2800), nil
+	case "dgx":
+		return arch.DGXLike(), nil
+	default:
+		return arch.Config{}, fmt.Errorf("unknown machine %q", name)
+	}
+}
+
+func main() {
+	workload := flag.String("workload", "vecadd", "workload name")
+	policy := flag.String("policy", "ladm", "management policy")
+	machineName := flag.String("arch", "hier", "machine configuration")
+	scale := flag.Int("scale", 6, "input scale divisor (1 = paper size)")
+	list := flag.Bool("list", false, "list workloads and policies")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(kernels.Names(), " "))
+		var pols []string
+		for _, p := range rt.All() {
+			pols = append(pols, p.Name)
+		}
+		fmt.Println("policies: ", strings.Join(pols, " "))
+		fmt.Println("machines:  hier hier-perlink monolithic xbar-90 xbar-180 xbar-360 ring-1400 ring-2800 dgx")
+		return
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ladmsim:", err)
+		os.Exit(1)
+	}
+	spec, err := kernels.ByName(*workload, *scale)
+	if err != nil {
+		fail(err)
+	}
+	pol, err := rt.ByName(*policy)
+	if err != nil {
+		fail(err)
+	}
+	cfg, err := machine(*machineName)
+	if err != nil {
+		fail(err)
+	}
+	run, err := core.Simulate(spec.W, cfg, pol)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s on %s under %s (scale 1/%d)\n\n", run.Workload, run.Arch, run.Policy, *scale)
+	rows := [][]string{
+		{"cycles", stats.Fmt(run.Cycles)},
+		{"threadblocks", fmt.Sprintf("%d", run.TBs)},
+		{"warp instructions", fmt.Sprintf("%d", run.WarpInstrs)},
+		{"L1 hit rate", stats.Pct(run.L1HitRate())},
+		{"L2 MPKI", stats.Fmt(run.MPKI())},
+		{"off-node traffic", stats.Pct(run.OffNodeFraction())},
+		{"inter-chiplet bytes", fmt.Sprintf("%d", run.InterChipletBytes)},
+		{"inter-GPU bytes", fmt.Sprintf("%d", run.InterGPUBytes)},
+		{"DRAM bytes", fmt.Sprintf("%d", run.DRAMBytes)},
+		{"DRAM row hit rate", stats.Pct(run.DRAMRowHitRate)},
+		{"page faults", fmt.Sprintf("%d", run.PageFaults)},
+		{"host fetches", fmt.Sprintf("%d", run.HostFetches)},
+	}
+	fmt.Print(stats.Table([]string{"metric", "value"}, rows))
+
+	fmt.Println("\nL2 traffic by category:")
+	share := run.L2TrafficShare()
+	var cat [][]string
+	for c := stats.LocalLocal; c < stats.NumTrafficCats; c++ {
+		cat = append(cat, []string{
+			c.String(), stats.Pct(share[c]), stats.Pct(run.L2[c].HitRate()),
+		})
+	}
+	fmt.Print(stats.Table([]string{"category", "share", "hit rate"}, cat))
+
+	fmt.Println("\nBusiest resources (cycles, vs total):")
+	busy := [][]string{
+		{"DRAM channel", stats.Fmt(run.MaxDRAMBusy), stats.Pct(run.MaxDRAMBusy / run.Cycles)},
+		{"inter-chiplet ring", stats.Fmt(run.MaxRingBusy), stats.Pct(run.MaxRingBusy / run.Cycles)},
+		{"inter-GPU link", stats.Fmt(run.MaxLinkBusy), stats.Pct(run.MaxLinkBusy / run.Cycles)},
+		{"L2 service", stats.Fmt(run.MaxL2SrvBusy), stats.Pct(run.MaxL2SrvBusy / run.Cycles)},
+		{"SM issue", stats.Fmt(run.MaxIssueBusy), stats.Pct(run.MaxIssueBusy / run.Cycles)},
+		{"SM<->L2 xbar", stats.Fmt(run.MaxIntraBusy), stats.Pct(run.MaxIntraBusy / run.Cycles)},
+	}
+	fmt.Print(stats.Table([]string{"resource", "busy", "utilization"}, busy))
+}

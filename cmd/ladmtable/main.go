@@ -1,0 +1,79 @@
+// Command ladmtable dumps the compiler's locality table for a workload —
+// the static-analysis half of LADM (Figure 5 of the paper), including the
+// per-access Table II classification, datablock sizes, and the LASP
+// decisions the runtime would take on the Table III machine.
+//
+// Usage:
+//
+//	ladmtable -workload sq-gemm
+//	ladmtable -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ladm/internal/arch"
+	"ladm/internal/compiler"
+	"ladm/internal/kernels"
+	rt "ladm/internal/runtime"
+)
+
+func dump(spec *kernels.Spec) {
+	w := spec.W
+	tab := compiler.Analyze(w)
+	cfg := arch.DefaultHierarchical()
+	plan, err := rt.Prepare(w, &cfg, rt.LADM())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ladmtable:", err)
+		os.Exit(1)
+	}
+	for _, e := range tab.Entries {
+		if a := plan.Space.Lookup(e.MallocPC); a != nil {
+			e.Addr = a.Base
+		}
+	}
+
+	fmt.Printf("%s (%s suite) — Table IV: %s, %s\n", w.Name, w.Suite,
+		spec.LocalityLabel, spec.SchedLabel)
+	fmt.Printf("dominant locality: %s; LASP scheduler: %s; CRB: ",
+		tab.DominantForWorkload(w), plan.SchedulerName(0))
+	ronce := 0
+	for _, on := range plan.RemoteOnce {
+		if on {
+			ronce++
+		}
+	}
+	if ronce > 0 {
+		fmt.Printf("RONCE on %d structure(s)\n\n", ronce)
+	} else {
+		fmt.Printf("RTWICE\n\n")
+	}
+	fmt.Print(tab.String())
+	fmt.Println()
+}
+
+func main() {
+	workload := flag.String("workload", "", "workload to analyze")
+	all := flag.Bool("all", false, "analyze every workload")
+	scale := flag.Int("scale", 6, "input scale divisor")
+	flag.Parse()
+
+	switch {
+	case *all:
+		for _, spec := range kernels.All(*scale) {
+			dump(spec)
+		}
+	case *workload != "":
+		spec, err := kernels.ByName(*workload, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ladmtable:", err)
+			os.Exit(1)
+		}
+		dump(spec)
+	default:
+		fmt.Fprintln(os.Stderr, "ladmtable: pass -workload <name> or -all (see -h)")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,77 @@
+package ladm_test
+
+import (
+	"fmt"
+
+	"ladm"
+)
+
+// ExampleClassify runs Algorithm 1 on the paper's Figure 6 accesses.
+func ExampleClassify() {
+	width := ladm.Prod(ladm.GDx, ladm.BDx)
+	row := ladm.Sum(ladm.Prod(ladm.By, ladm.C(16)), ladm.Ty)
+	col := ladm.Sum(ladm.Prod(ladm.Bx, ladm.C(16)), ladm.Tx)
+
+	a := ladm.Sum(ladm.Prod(row, width), ladm.Prod(ladm.M, ladm.C(16)), ladm.Tx)
+	b := ladm.Sum(ladm.Prod(ladm.Sum(ladm.Prod(ladm.M, ladm.C(16)), ladm.Ty), width), col)
+	c := ladm.Sum(ladm.Prod(row, width), col)
+
+	for _, e := range []ladm.Expr{a, b, c} {
+		cl := ladm.Classify(e, true)
+		fmt.Printf("row %d: %s\n", cl.Type.TableRow(), cl.Type)
+	}
+	// Output:
+	// row 2: RCL-row-hshare
+	// row 5: RCL-col-vshare
+	// row 1: NL
+}
+
+// ExampleAnalyze prints the dominant locality of a Table IV workload.
+func ExampleAnalyze() {
+	spec, err := ladm.Workload("pagerank", 16)
+	if err != nil {
+		panic(err)
+	}
+	table := ladm.Analyze(spec.W)
+	ty, _ := table.DominantForArray("cols")
+	fmt.Println("cols:", ty)
+	fmt.Println("workload:", table.DominantForWorkload(spec.W))
+	// Output:
+	// cols: ITL
+	// workload: ITL
+}
+
+// ExamplePolicyByName shows the preset lookup.
+func ExamplePolicyByName() {
+	p, err := ladm.PolicyByName("ladm")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Name, p.Placement, p.Sched, p.Cache)
+	// Output:
+	// ladm lasp lasp crb
+}
+
+// ExampleSimulate runs the smallest end-to-end comparison. Cycle counts
+// are deterministic but model-version specific, so only the direction is
+// printed.
+func ExampleSimulate() {
+	spec, err := ladm.Workload("scalarprod", 16)
+	if err != nil {
+		panic(err)
+	}
+	sys := ladm.TableIIISystem()
+	base, err := ladm.Simulate(spec.W, sys, ladm.BaselineRR())
+	if err != nil {
+		panic(err)
+	}
+	best, err := ladm.Simulate(spec.W, sys, ladm.LADM())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("LADM faster:", best.Cycles < base.Cycles)
+	fmt.Printf("LADM off-node under 5%%: %v\n", best.OffNodeFraction() < 0.05)
+	// Output:
+	// LADM faster: true
+	// LADM off-node under 5%: true
+}

@@ -1,0 +1,47 @@
+// Quickstart: simulate one workload under the paper's baseline and under
+// LADM on the Table III hierarchical multi-GPU, and print the headline
+// comparison — the five-minute tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ladm"
+)
+
+func main() {
+	// sq-gemm is the paper's reference GEMM (Figure 6). Scale 8 shrinks
+	// the paper's input linearly for a fast run.
+	spec, err := ladm.Workload("sq-gemm", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := ladm.TableIIISystem()
+
+	fmt.Printf("workload %s (%s suite), %d threadblocks, %d MB\n",
+		spec.W.Name, spec.W.Suite, spec.W.TotalTBs(), spec.W.TotalBytes()>>20)
+
+	// The static analysis the LADM compiler pass performs (Section III-C).
+	table := ladm.Analyze(spec.W)
+	fmt.Println("\nlocality table:")
+	fmt.Print(table.String())
+
+	// Simulate under H-CODA (state of the art) and LADM.
+	base, err := ladm.Simulate(spec.W, sys, ladm.HCODA())
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := ladm.Simulate(spec.W, sys, ladm.LADM())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nH-CODA: %12.0f cycles, %5.1f%% off-node traffic\n",
+		base.Cycles, base.OffNodeFraction()*100)
+	fmt.Printf("LADM:   %12.0f cycles, %5.1f%% off-node traffic\n",
+		best.Cycles, best.OffNodeFraction()*100)
+	fmt.Printf("\nLADM speedup: %.2fx, off-node traffic reduced %.1fx\n",
+		best.Speedup(base),
+		float64(base.OffNodeBytes())/float64(best.OffNodeBytes()))
+}

@@ -1,0 +1,3 @@
+module ladm
+
+go 1.22

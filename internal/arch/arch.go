@@ -1,0 +1,285 @@
+// Package arch describes the simulated machines: the hierarchical
+// multi-GPU system of the paper's Table III (4 GPUs × 4 chiplets × 16 SMs),
+// the hypothetical monolithic GPU it is normalized against, and the
+// interconnect variants swept in Figure 4.
+//
+// A "node" is the unit of NUMA locality: one chiplet with its L2 slice and
+// local HBM. Nodes are numbered globally; node n belongs to GPU
+// n / ChipletsPerGPU. All bandwidths are specified in GB/s and converted to
+// bytes per core-clock cycle internally.
+package arch
+
+import "fmt"
+
+// Config is a complete description of a simulated machine.
+type Config struct {
+	Name string
+
+	// Hierarchy.
+	GPUs           int // discrete GPUs behind the switch
+	ChipletsPerGPU int // chiplets (NUMA nodes) per GPU
+	SMsPerChiplet  int // SMs per chiplet
+
+	// Core.
+	ClockGHz      float64
+	WarpSize      int
+	MaxWarpsPerSM int
+	MaxTBsPerSM   int // architectural cap on resident threadblocks
+	IssuePerCycle int // warp memory instructions issued per SM per cycle
+
+	// Memory geometry.
+	LineBytes   int
+	SectorBytes int
+	L1KBPerSM   int
+	L1Assoc     int
+	L2KBPerNode int
+	L2Assoc     int
+	L2Banks     int // banks per node
+	PageBytes   uint64
+
+	// DRAMChannels is the number of independent HBM channels per node.
+	DRAMChannels int
+
+	// Bandwidths (GB/s).
+	DRAMPerNodeGBs    float64 // HBM per chiplet
+	IntraChipletGBs   float64 // SM<->L2 crossbar, total per chiplet
+	InterChipletGBs   float64 // ring, aggregate per GPU
+	InterGPUGBs       float64 // switch link, per GPU per direction
+	MonolithicXbarGBs float64 // only used when Monolithic is true
+
+	// Latencies (core cycles, unloaded).
+	L1Lat           int
+	L2Lat           int
+	DRAMLat         int
+	InterChipletLat int
+	InterGPULat     int
+
+	// Request-level resources.
+	MSHRsPerSM int // max outstanding sector requests per SM
+
+	// PageFaultCycles is the SM-visible cost of a first-touch page fault
+	// (20-50 microseconds per the paper; 0 models "Batch+FT-optimal").
+	PageFaultCycles int
+
+	// MemCapacityPerNodeKB bounds device memory per node; 0 models
+	// unlimited capacity (no oversubscription).
+	MemCapacityPerNodeKB int
+	// HostLinkGBs is the host<->GPU transfer bandwidth per GPU used for
+	// oversubscription paging.
+	HostLinkGBs float64
+	// HostFetchCycles is the SM-visible latency of a reactive host page
+	// fetch (a demand UVM fault).
+	HostFetchCycles int
+
+	// Monolithic marks the hypothetical single-die reference GPU: one node,
+	// no NUMA penalty, flat crossbar.
+	Monolithic bool
+
+	// PerLinkRing models the inter-chiplet ring as individual directional
+	// hop links (shortest-path routed) instead of one aggregate resource.
+	// Aggregate bandwidth is preserved; the detailed model adds per-hop
+	// serialization and distance-dependent contention.
+	PerLinkRing bool
+}
+
+// Nodes returns the number of NUMA nodes (chiplets) in the system.
+func (c *Config) Nodes() int { return c.GPUs * c.ChipletsPerGPU }
+
+// SMs returns the total SM count.
+func (c *Config) SMs() int { return c.Nodes() * c.SMsPerChiplet }
+
+// GPUOfNode returns the discrete GPU a node belongs to.
+func (c *Config) GPUOfNode(node int) int { return node / c.ChipletsPerGPU }
+
+// NodeOfSM returns the node an SM belongs to.
+func (c *Config) NodeOfSM(sm int) int { return sm / c.SMsPerChiplet }
+
+// SameGPU reports whether two nodes are chiplets of the same discrete GPU.
+func (c *Config) SameGPU(a, b int) bool { return c.GPUOfNode(a) == c.GPUOfNode(b) }
+
+// NodesOfGPU returns the node range [first, last] of a GPU.
+func (c *Config) NodesOfGPU(gpu int) (first, last int) {
+	return gpu * c.ChipletsPerGPU, (gpu+1)*c.ChipletsPerGPU - 1
+}
+
+// BytesPerCycle converts a GB/s figure to bytes per core cycle.
+func (c *Config) BytesPerCycle(gbs float64) float64 {
+	if c.ClockGHz <= 0 {
+		panic("arch: ClockGHz must be positive")
+	}
+	return gbs / c.ClockGHz
+}
+
+// L2SetsPerNode returns the number of sets of one node's L2 slice.
+func (c *Config) L2SetsPerNode() int {
+	lines := c.L2KBPerNode * 1024 / c.LineBytes
+	return lines / c.L2Assoc
+}
+
+// L1Sets returns the number of sets of one SM's L1.
+func (c *Config) L1Sets() int {
+	lines := c.L1KBPerSM * 1024 / c.LineBytes
+	return lines / c.L1Assoc
+}
+
+// ResidentTBs returns how many threadblocks of warpsPerTB warps can be
+// resident on one SM.
+func (c *Config) ResidentTBs(warpsPerTB int) int {
+	if warpsPerTB < 1 {
+		warpsPerTB = 1
+	}
+	byWarps := c.MaxWarpsPerSM / warpsPerTB
+	if byWarps < 1 {
+		byWarps = 1
+	}
+	if byWarps > c.MaxTBsPerSM {
+		byWarps = c.MaxTBsPerSM
+	}
+	return byWarps
+}
+
+// Validate performs basic sanity checks and returns a descriptive error for
+// the first violated invariant.
+func (c *Config) Validate() error {
+	switch {
+	case c.GPUs < 1 || c.ChipletsPerGPU < 1 || c.SMsPerChiplet < 1:
+		return fmt.Errorf("arch %q: hierarchy dimensions must be >= 1", c.Name)
+	case c.LineBytes <= 0 || c.SectorBytes <= 0 || c.LineBytes%c.SectorBytes != 0:
+		return fmt.Errorf("arch %q: line %dB must be a multiple of sector %dB", c.Name, c.LineBytes, c.SectorBytes)
+	case c.PageBytes == 0 || c.PageBytes%uint64(c.LineBytes) != 0:
+		return fmt.Errorf("arch %q: page %dB must be a multiple of line size", c.Name, c.PageBytes)
+	case c.L2KBPerNode*1024%(c.LineBytes*c.L2Assoc) != 0:
+		return fmt.Errorf("arch %q: L2 geometry does not divide into sets", c.Name)
+	case c.L1KBPerSM*1024%(c.LineBytes*c.L1Assoc) != 0:
+		return fmt.Errorf("arch %q: L1 geometry does not divide into sets", c.Name)
+	case c.WarpSize <= 0 || c.MaxWarpsPerSM <= 0 || c.MaxTBsPerSM <= 0:
+		return fmt.Errorf("arch %q: core limits must be positive", c.Name)
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("arch %q: clock must be positive", c.Name)
+	case c.MSHRsPerSM <= 0:
+		return fmt.Errorf("arch %q: MSHRsPerSM must be positive", c.Name)
+	}
+	return nil
+}
+
+// baseline fills the fields shared by all configurations (Volta-like SM,
+// Table III cache geometry and latencies).
+func baseline(name string) Config {
+	return Config{
+		Name:          name,
+		ClockGHz:      1.4,
+		WarpSize:      32,
+		MaxWarpsPerSM: 64,
+		MaxTBsPerSM:   32,
+		IssuePerCycle: 4,
+		LineBytes:     128,
+		SectorBytes:   32,
+		L1KBPerSM:     64,
+		L1Assoc:       4,
+		L2KBPerNode:   1024,
+		L2Assoc:       16,
+		L2Banks:       16,
+		PageBytes:     4096,
+
+		DRAMPerNodeGBs:  180,
+		IntraChipletGBs: 720,
+		InterChipletGBs: 720,
+		InterGPUGBs:     180,
+
+		L1Lat:           28,
+		L2Lat:           120,
+		DRAMLat:         160,
+		InterChipletLat: 64,
+		InterGPULat:     260,
+
+		DRAMChannels:    8,
+		MSHRsPerSM:      256,
+		PageFaultCycles: 0,
+
+		HostLinkGBs:     64,
+		HostFetchCycles: 35000, // ~25us at 1.4 GHz
+	}
+}
+
+// DefaultHierarchical returns the paper's Table III system: 4 GPUs, each
+// with 4 chiplets of 16 SMs (256 SMs total), ring-connected chiplets
+// (720 GB/s per GPU), switch-connected GPUs (180 GB/s per link), 1 MB of L2
+// and 180 GB/s of HBM per chiplet.
+func DefaultHierarchical() Config {
+	c := baseline("hier-4x4")
+	c.GPUs = 4
+	c.ChipletsPerGPU = 4
+	c.SMsPerChiplet = 16
+	return c
+}
+
+// MonolithicGPU returns the hypothetical 256-SM single-die GPU used as the
+// normalization baseline: one NUMA node, a flat 11.2 TB/s crossbar, 16 MB
+// of L2 and the same 2.88 TB/s aggregate DRAM bandwidth.
+func MonolithicGPU() Config {
+	c := baseline("monolithic-256")
+	c.Monolithic = true
+	c.GPUs = 1
+	c.ChipletsPerGPU = 1
+	c.SMsPerChiplet = 256
+	c.L2KBPerNode = 16 * 1024
+	c.L2Banks = 256
+	c.DRAMPerNodeGBs = 4 * 720 // 16 chiplets' worth of HBM
+	c.DRAMChannels = 128       // ...and their channels
+	c.MonolithicXbarGBs = 11200
+	c.IntraChipletGBs = 11200
+	return c
+}
+
+// FourGPUSwitch returns the Figure 4 multi-GPU configuration: four discrete
+// 64-SM GPUs behind a crossbar switch with the given per-link bandwidth
+// (90, 180 or 360 GB/s in the paper).
+func FourGPUSwitch(linkGBs float64) Config {
+	c := baseline(fmt.Sprintf("xbar-%.0fGBs", linkGBs))
+	c.GPUs = 4
+	c.ChipletsPerGPU = 1
+	c.SMsPerChiplet = 64
+	c.L2KBPerNode = 4 * 1024
+	c.L2Banks = 64
+	c.DRAMPerNodeGBs = 720
+	c.DRAMChannels = 32
+	c.IntraChipletGBs = 4 * 720
+	c.InterGPUGBs = linkGBs
+	return c
+}
+
+// FourChipletRing returns the Figure 4 MCM-GPU configuration: one package
+// of four 64-SM chiplets on a high-speed bi-directional ring with the given
+// aggregate bandwidth (1400 or 2800 GB/s in the paper).
+func FourChipletRing(ringGBs float64) Config {
+	c := baseline(fmt.Sprintf("ring-%.1fTBs", ringGBs/1000))
+	c.GPUs = 1
+	c.ChipletsPerGPU = 4
+	c.SMsPerChiplet = 64
+	c.L2KBPerNode = 4 * 1024
+	c.L2Banks = 64
+	c.DRAMPerNodeGBs = 720
+	c.DRAMChannels = 32
+	c.IntraChipletGBs = 4 * 720
+	c.InterChipletGBs = ringGBs
+	c.InterChipletLat = 32
+	return c
+}
+
+// DGXLike returns a 4-GPU NVLink-class topology approximating the DGX-1
+// cluster used for the paper's Section IV-C hardware validation.
+func DGXLike() Config {
+	c := baseline("dgx-4gpu")
+	c.GPUs = 4
+	c.ChipletsPerGPU = 1
+	c.SMsPerChiplet = 80
+	c.L2KBPerNode = 6 * 1024
+	c.L2Assoc = 16
+	c.L2Banks = 96
+	c.DRAMPerNodeGBs = 900
+	c.DRAMChannels = 32
+	c.IntraChipletGBs = 4 * 900
+	c.InterGPUGBs = 100
+	c.PageBytes = 4096
+	return c
+}

@@ -1,0 +1,140 @@
+package arch
+
+import "testing"
+
+func TestAllPresetsValidate(t *testing.T) {
+	configs := []Config{
+		DefaultHierarchical(),
+		MonolithicGPU(),
+		FourGPUSwitch(90),
+		FourGPUSwitch(180),
+		FourGPUSwitch(360),
+		FourChipletRing(1400),
+		FourChipletRing(2800),
+		DGXLike(),
+	}
+	for _, c := range configs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestTableIIIGeometry(t *testing.T) {
+	c := DefaultHierarchical()
+	if got := c.Nodes(); got != 16 {
+		t.Errorf("Nodes = %d, want 16", got)
+	}
+	if got := c.SMs(); got != 256 {
+		t.Errorf("SMs = %d, want 256", got)
+	}
+	// 16 MB total L2 in 1 MB slices.
+	if total := c.L2KBPerNode * c.Nodes(); total != 16*1024 {
+		t.Errorf("total L2 = %d KB, want 16384", total)
+	}
+	// 256 banks system-wide.
+	if banks := c.L2Banks * c.Nodes(); banks != 256 {
+		t.Errorf("total L2 banks = %d, want 256", banks)
+	}
+	// 720 GB/s of HBM per GPU.
+	if bw := c.DRAMPerNodeGBs * float64(c.ChipletsPerGPU); bw != 720 {
+		t.Errorf("per-GPU DRAM bandwidth = %f, want 720", bw)
+	}
+}
+
+func TestHierarchyMapping(t *testing.T) {
+	c := DefaultHierarchical()
+	cases := []struct{ node, gpu int }{
+		{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {15, 3},
+	}
+	for _, tc := range cases {
+		if got := c.GPUOfNode(tc.node); got != tc.gpu {
+			t.Errorf("GPUOfNode(%d) = %d, want %d", tc.node, got, tc.gpu)
+		}
+	}
+	if !c.SameGPU(0, 3) || c.SameGPU(3, 4) {
+		t.Error("SameGPU misclassifies chiplet pairs")
+	}
+	if first, last := c.NodesOfGPU(2); first != 8 || last != 11 {
+		t.Errorf("NodesOfGPU(2) = [%d,%d], want [8,11]", first, last)
+	}
+	if got := c.NodeOfSM(17); got != 1 {
+		t.Errorf("NodeOfSM(17) = %d, want 1", got)
+	}
+	if got := c.NodeOfSM(255); got != 15 {
+		t.Errorf("NodeOfSM(255) = %d, want 15", got)
+	}
+}
+
+func TestBytesPerCycle(t *testing.T) {
+	c := DefaultHierarchical()
+	// 180 GB/s at 1.4 GHz is ~128.6 B/cycle.
+	got := c.BytesPerCycle(180)
+	if got < 128 || got > 129 {
+		t.Errorf("BytesPerCycle(180) = %f, want ~128.6", got)
+	}
+}
+
+func TestResidentTBs(t *testing.T) {
+	c := DefaultHierarchical()
+	cases := []struct{ warpsPerTB, want int }{
+		{1, 32},  // capped by MaxTBsPerSM
+		{2, 32},  // 64/2 = 32
+		{4, 16},  // 64/4
+		{8, 8},   // 256-thread blocks
+		{64, 1},  // giant blocks
+		{128, 1}, // oversubscribed: still at least one
+		{0, 32},  // degenerate input clamps
+	}
+	for _, tc := range cases {
+		if got := c.ResidentTBs(tc.warpsPerTB); got != tc.want {
+			t.Errorf("ResidentTBs(%d) = %d, want %d", tc.warpsPerTB, got, tc.want)
+		}
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	c := DefaultHierarchical()
+	// 1 MB, 128B lines, 16-way: 512 sets.
+	if got := c.L2SetsPerNode(); got != 512 {
+		t.Errorf("L2SetsPerNode = %d, want 512", got)
+	}
+	// 64 KB, 128B lines, 4-way: 128 sets.
+	if got := c.L1Sets(); got != 128 {
+		t.Errorf("L1Sets = %d, want 128", got)
+	}
+}
+
+func TestValidateCatchesBadGeometry(t *testing.T) {
+	bad := DefaultHierarchical()
+	bad.SectorBytes = 48 // does not divide 128
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for non-dividing sector size")
+	}
+	bad = DefaultHierarchical()
+	bad.GPUs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero GPUs")
+	}
+	bad = DefaultHierarchical()
+	bad.PageBytes = 100
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for non-line-multiple page")
+	}
+}
+
+func TestMonolithicShape(t *testing.T) {
+	c := MonolithicGPU()
+	if !c.Monolithic {
+		t.Error("Monolithic flag not set")
+	}
+	if c.Nodes() != 1 || c.SMs() != 256 {
+		t.Errorf("monolithic shape: nodes=%d SMs=%d", c.Nodes(), c.SMs())
+	}
+	h := DefaultHierarchical()
+	// Same aggregate DRAM bandwidth as the hierarchical system.
+	if c.DRAMPerNodeGBs != h.DRAMPerNodeGBs*float64(h.Nodes()) {
+		t.Errorf("monolithic DRAM %f != aggregate hierarchical %f",
+			c.DRAMPerNodeGBs, h.DRAMPerNodeGBs*float64(h.Nodes()))
+	}
+}

@@ -1,0 +1,127 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"ladm/internal/kir"
+	sym "ladm/internal/symbolic"
+)
+
+func gemmWorkload() *kir.Workload {
+	k := gemmKernel()
+	elems := uint64(1024 * 1024 * 4)
+	return &kir.Workload{
+		Name:  "sq-gemm",
+		Suite: "test",
+		Allocs: []kir.AllocSpec{
+			{ID: "A", Bytes: elems, ElemSize: 4},
+			{ID: "B", Bytes: elems, ElemSize: 4},
+			{ID: "C", Bytes: elems, ElemSize: 4},
+		},
+		Launches: []kir.Launch{{Kernel: k}},
+	}
+}
+
+func TestAnalyzeWorkload(t *testing.T) {
+	w := gemmWorkload()
+	tab := Analyze(w)
+	if len(tab.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(tab.Entries))
+	}
+	byArray := map[string]LocalityType{}
+	for _, e := range tab.Entries {
+		byArray[e.MallocPC] = e.Class.Type
+	}
+	if byArray["A"] != RowHorizontal || byArray["B"] != ColVertical || byArray["C"] != NoLocality {
+		t.Errorf("classification map = %v", byArray)
+	}
+	if got := tab.Arrays(); len(got) != 3 || got[0] != "A" {
+		t.Errorf("Arrays = %v", got)
+	}
+	if got := tab.ForKernel("sgemm"); len(got) != 3 {
+		t.Errorf("ForKernel = %d entries", len(got))
+	}
+	if got := tab.ForKernel("absent"); len(got) != 0 {
+		t.Errorf("absent kernel returned %d entries", len(got))
+	}
+}
+
+func TestAnalyzeDeduplicatesRepeatedLaunches(t *testing.T) {
+	w := gemmWorkload()
+	w.Launches = append(w.Launches, kir.Launch{Kernel: w.Launches[0].Kernel, Times: 3})
+	tab := Analyze(w)
+	if len(tab.Entries) != 3 {
+		t.Errorf("repeated launches duplicated entries: %d", len(tab.Entries))
+	}
+}
+
+func TestDominantForArray(t *testing.T) {
+	w := gemmWorkload()
+	tab := Analyze(w)
+	ty, rep := tab.DominantForArray("A")
+	if ty != RowHorizontal || rep == nil || rep.MallocPC != "A" {
+		t.Errorf("dominant A = %v, rep %+v", ty, rep)
+	}
+	if ty, rep := tab.DominantForArray("absent"); ty != Unclassified || rep != nil {
+		t.Errorf("absent array dominant = %v, %v", ty, rep)
+	}
+}
+
+func TestDominantVotingWeights(t *testing.T) {
+	// One structure accessed two ways: the heavier access wins.
+	gid := sym.Sum(sym.Prod(sym.Bx, sym.BDx), sym.Tx)
+	k := &kir.Kernel{
+		Name: "mixed", Grid: kir.Dim1(64), Block: kir.Dim1(128), Iters: 8,
+		Accesses: []kir.Access{
+			{Array: "X", ElemSize: 4, Index: gid, Weight: 1},                               // NL
+			{Array: "X", ElemSize: 4, Index: sym.Sum(gid, sym.M), Weight: 10},              // ITL (gid + m)
+			{Array: "Y", ElemSize: 4, Index: sym.Ind("Z", gid), Weight: 1},                 // unclassified
+			{Array: "Y", ElemSize: 4, Index: sym.Sum(sym.Ind("Z", gid), sym.M), Weight: 1}, // ITL
+		},
+	}
+	w := &kir.Workload{
+		Name: "mixed", Suite: "test",
+		Allocs: []kir.AllocSpec{
+			{ID: "X", Bytes: 1 << 20, ElemSize: 4},
+			{ID: "Y", Bytes: 1 << 10, ElemSize: 4},
+			{ID: "Z", Bytes: 1 << 10, ElemSize: 4},
+		},
+		Launches: []kir.Launch{{Kernel: k}},
+	}
+	tab := Analyze(w)
+	// X: gid+m is ITL (weight 10) vs NL (weight 1): ITL wins by weight.
+	if ty, _ := tab.DominantForArray("X"); ty != IntraThread {
+		t.Errorf("X dominant = %v, want ITL by weight", ty)
+	}
+	// Y: tie 1-1 between unclassified and ITL: specificity prefers ITL.
+	if ty, _ := tab.DominantForArray("Y"); ty != IntraThread {
+		t.Errorf("Y dominant = %v, want ITL by specificity", ty)
+	}
+	// Workload dominant: X is 1024x bigger, so ITL dominates overall.
+	if ty := tab.DominantForWorkload(w); ty != IntraThread {
+		t.Errorf("workload dominant = %v", ty)
+	}
+}
+
+func TestDominantForWorkloadGEMM(t *testing.T) {
+	w := gemmWorkload()
+	tab := Analyze(w)
+	// A and B (RCL) outweigh C (NL) two structures to one.
+	ty := tab.DominantForWorkload(w)
+	if !ty.IsRCL() {
+		t.Errorf("GEMM workload dominant = %v, want an RCL type", ty)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	w := gemmWorkload()
+	tab := Analyze(w)
+	tab.Entries[0].Pages = 256
+	s := tab.String()
+	for _, frag := range []string{"MallocPC", "sgemm", "RCL-row-hshare", "NL", "256"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("table dump missing %q:\n%s", frag, s)
+		}
+	}
+}

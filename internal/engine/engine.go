@@ -1,0 +1,437 @@
+// Package engine is the timing simulator: an event-driven model of the
+// hierarchical NUMA-GPU at warp-transaction granularity.
+//
+// Each threadblock executes as a chain of events — one per outer-loop
+// iteration — whose memory phase issues its coalesced transactions through
+// the SM's issue port (bounded by MSHR windows), the sectored L1, the
+// requesting node's L2 slice, the hierarchical interconnect, the home
+// node's L2 slice, and HBM, all modelled as latency plus bandwidth-queued
+// resources. SMs run up to their occupancy limit of threadblocks drawn
+// from their node's scheduler queue, so latency hiding, bandwidth
+// saturation and NUMA queueing emerge rather than being asserted.
+//
+// This is the substitution for GPGPU-Sim 4.0 + Accel-Sim described in
+// DESIGN.md: instruction pipelines are abstracted into per-iteration
+// compute delays, but the memory system — the thing the paper's results
+// turn on — is modelled end to end.
+package engine
+
+import (
+	"fmt"
+
+	"ladm/internal/arch"
+	"ladm/internal/interconnect"
+	"ladm/internal/kir"
+	"ladm/internal/mem/cache"
+	"ladm/internal/mem/dram"
+	"ladm/internal/mem/page"
+	"ladm/internal/queueing"
+	"ladm/internal/runtime"
+	"ladm/internal/stats"
+	"ladm/internal/trace"
+)
+
+// Engine simulates one prepared workload on one machine.
+type Engine struct {
+	cfg  *arch.Config
+	plan *runtime.Plan
+
+	net     *interconnect.Network
+	l1      []*cache.Cache       // per SM
+	l2      []*cache.Cache       // per node
+	l2srv   []*queueing.Resource // per node: L2 bank service bandwidth
+	hbm     []*dram.HBM          // per node
+	smIssue []*queueing.Resource // per SM: LSU issue (transactions/cycle)
+
+	// Oversubscription: device residency per node and host links per GPU.
+	residency *page.Residency
+	hostLink  []*queueing.Resource
+
+	sched scheduler
+	run   *stats.Run
+}
+
+// New builds an engine for a prepared plan.
+func New(plan *runtime.Plan) *Engine {
+	cfg := plan.Cfg
+	e := &Engine{
+		cfg:  cfg,
+		plan: plan,
+		net:  interconnect.New(cfg),
+		run: &stats.Run{
+			Workload: plan.Workload.Name,
+			Policy:   plan.Policy.Name,
+			Arch:     cfg.Name,
+		},
+	}
+	for sm := 0; sm < cfg.SMs(); sm++ {
+		e.l1 = append(e.l1, cache.New(cache.Config{
+			Sets:        cfg.L1Sets(),
+			Assoc:       cfg.L1Assoc,
+			LineBytes:   cfg.LineBytes,
+			SectorBytes: cfg.SectorBytes,
+		}))
+		e.smIssue = append(e.smIssue, queueing.NewResource(
+			fmt.Sprintf("sm%d.issue", sm), float64(cfg.IssuePerCycle)))
+	}
+	// L2 bank service: each bank moves one sector per cycle.
+	l2Rate := float64(cfg.L2Banks * cfg.SectorBytes)
+	for node := 0; node < cfg.Nodes(); node++ {
+		e.l2 = append(e.l2, cache.New(cache.Config{
+			Sets:        cfg.L2SetsPerNode(),
+			Assoc:       cfg.L2Assoc,
+			LineBytes:   cfg.LineBytes,
+			SectorBytes: cfg.SectorBytes,
+		}))
+		e.l2srv = append(e.l2srv, queueing.NewResource(
+			fmt.Sprintf("l2srv.n%d", node), l2Rate))
+		hcfg := dram.DefaultConfig(
+			fmt.Sprintf("hbm.n%d", node), cfg.BytesPerCycle(cfg.DRAMPerNodeGBs))
+		if cfg.DRAMChannels > 0 {
+			hcfg.Channels = cfg.DRAMChannels
+		}
+		if cfg.DRAMLat > 0 {
+			hcfg.AccessLat = cfg.DRAMLat
+		}
+		e.hbm = append(e.hbm, dram.New(hcfg))
+	}
+	capacityPages := 0
+	if cfg.MemCapacityPerNodeKB > 0 {
+		capacityPages = int(uint64(cfg.MemCapacityPerNodeKB) << 10 / cfg.PageBytes)
+		if capacityPages < 1 {
+			capacityPages = 1
+		}
+	}
+	e.residency = page.NewResidency(cfg.Nodes(), capacityPages)
+	for gpu := 0; gpu < cfg.GPUs; gpu++ {
+		e.hostLink = append(e.hostLink, queueing.NewResource(
+			fmt.Sprintf("host.g%d", gpu), cfg.BytesPerCycle(cfg.HostLinkGBs)))
+	}
+	return e
+}
+
+// Run simulates every launch of the plan's workload and returns the
+// aggregated measurements.
+func (e *Engine) Run() (*stats.Run, error) {
+	resolver := e.plan.Workload.Resolver()
+	for _, lp := range e.plan.Launches {
+		gen, err := trace.New(lp.Launch.Kernel, e.plan.Space, resolver,
+			e.cfg.LineBytes, e.cfg.SectorBytes, e.cfg.WarpSize)
+		if err != nil {
+			return nil, err
+		}
+		for rep := 0; rep < lp.Launch.EffTimes(); rep++ {
+			e.runKernel(gen, &lp)
+			e.flushL2s()
+		}
+	}
+	e.finalizeStats()
+	return e.run, nil
+}
+
+// flushL2s models the kernel-boundary L2 coherence invalidation described
+// in the paper: dirty data is written back and inter-kernel L2 locality is
+// lost.
+func (e *Engine) flushL2s() {
+	for node, l2 := range e.l2 {
+		wb := l2.InvalidateAll()
+		if wb > 0 {
+			bytes := wb * e.cfg.SectorBytes
+			e.run.DRAMBytes += uint64(bytes)
+			e.hbm[node].Access(e.sched.now, 0, bytes, true)
+		}
+	}
+}
+
+// finalizeStats folds component counters into the Run record.
+func (e *Engine) finalizeStats() {
+	e.run.Cycles = e.sched.now
+	e.run.InterChipletBytes = e.net.Bytes(interconnect.InterChiplet)
+	e.run.InterGPUBytes = e.net.Bytes(interconnect.InterGPU)
+	var rowHits, rowTotal uint64
+	for _, h := range e.hbm {
+		st := h.Stats()
+		rowHits += st.RowHits
+		rowTotal += st.RowHits + st.RowMisses
+	}
+	if rowTotal > 0 {
+		e.run.DRAMRowHitRate = float64(rowHits) / float64(rowTotal)
+	}
+	e.run.PageFaults = e.plan.Space.Faults
+	e.run.HostFetches = e.residency.Fetches
+	e.run.TBs = e.plan.Workload.TotalTBs()
+
+	for _, h := range e.hbm {
+		if b := h.MaxChannelBusy(); b > e.run.MaxDRAMBusy {
+			e.run.MaxDRAMBusy = b
+		}
+	}
+	e.run.MaxRingBusy = e.net.MaxBusy(interconnect.InterChiplet)
+	e.run.MaxLinkBusy = e.net.MaxBusy(interconnect.InterGPU)
+	e.run.MaxIntraBusy = e.net.MaxBusy(interconnect.Local)
+	for _, r := range e.l2srv {
+		if b := r.BusyCycles(); b > e.run.MaxL2SrvBusy {
+			e.run.MaxL2SrvBusy = b
+		}
+	}
+	for _, r := range e.smIssue {
+		if b := r.BusyCycles(); b > e.run.MaxIssueBusy {
+			e.run.MaxIssueBusy = b
+		}
+	}
+}
+
+// tbExec tracks one resident threadblock's progress.
+type tbExec struct {
+	e    *Engine
+	gen  *trace.Generator
+	lp   *runtime.LaunchPlan
+	k    *kir.Kernel
+	tb   int
+	sm   int
+	node int
+
+	warps    int
+	resident int
+	stage    int // 0=pre, 1=loop, 2=post, 3=done
+	m        int
+
+	queue  *[]int32 // remaining TBs of this node
+	onDone func(t float64)
+
+	buf []trace.Transaction
+}
+
+// runKernel executes one kernel launch to completion.
+func (e *Engine) runKernel(gen *trace.Generator, lp *runtime.LaunchPlan) {
+	k := lp.Launch.Kernel
+	warps := k.WarpsPerTB(e.cfg.WarpSize)
+	resident := e.cfg.ResidentTBs(warps)
+	start := e.sched.now
+
+	remaining := 0
+	queues := make([][]int32, len(lp.Assignment.Queues))
+	for i, q := range lp.Assignment.Queues {
+		queues[i] = append([]int32(nil), q...)
+		remaining += len(q)
+	}
+	if remaining == 0 {
+		return
+	}
+
+	done := func(float64) { remaining-- }
+
+	// Fill every SM's resident slots round-robin so load spreads evenly.
+	for slot := 0; slot < resident; slot++ {
+		for sm := 0; sm < e.cfg.SMs(); sm++ {
+			node := e.cfg.NodeOfSM(sm)
+			if len(queues[node]) == 0 {
+				continue
+			}
+			tb := queues[node][0]
+			queues[node] = queues[node][1:]
+			ex := &tbExec{
+				e: e, gen: gen, lp: lp, k: k,
+				tb: int(tb), sm: sm, node: node,
+				warps: warps, resident: resident,
+				queue: &queues[node], onDone: done,
+			}
+			e.sched.at(start, ex.step)
+		}
+	}
+	e.sched.drain()
+}
+
+// step starts the threadblock's next phase.
+func (x *tbExec) step(t float64) {
+	iters := x.k.EffItersFor(x.tb)
+	switch x.stage {
+	case 0:
+		x.execPhase(t, kir.PreLoop, 0)
+	case 1:
+		x.execPhase(t, kir.InLoop, x.m)
+	default:
+		x.execPhase(t, kir.PostLoop, iters-1)
+	}
+}
+
+// debugPhase, when set by tests, observes phase timing.
+var debugPhase func(tb, stage, m int, t0, end float64)
+
+// debugTx, when set by tests, observes transaction timing.
+var debugTx func(tb, m, i int, tx *trace.Transaction, at, done float64)
+
+// phaseDone advances the state machine once a phase's loads have retired.
+func (x *tbExec) phaseDone(end float64) {
+	e := x.e
+	switch x.stage {
+	case 0:
+		x.stage = 1
+	case 1:
+		x.m++
+		if x.m >= x.k.EffItersFor(x.tb) {
+			x.stage = 2
+		}
+	default:
+		x.stage = 3
+	}
+	if x.stage < 3 {
+		e.sched.at(end, x.step)
+		return
+	}
+
+	// Threadblock finished: free the slot and pull the next TB.
+	x.onDone(end)
+	if len(*x.queue) > 0 {
+		tb := (*x.queue)[0]
+		*x.queue = (*x.queue)[1:]
+		next := &tbExec{
+			e: e, gen: x.gen, lp: x.lp, k: x.k,
+			tb: int(tb), sm: x.sm, node: x.node,
+			warps: x.warps, resident: x.resident,
+			queue: x.queue, onDone: x.onDone,
+			buf: x.buf[:0],
+		}
+		e.sched.at(end, next.step)
+	}
+}
+
+// execPhase generates the phase's transactions and streams them through a
+// sliding MSHR window; phaseDone fires when every load has retired.
+func (x *tbExec) execPhase(t0 float64, phase kir.Phase, m int) {
+	e := x.e
+	compute := 0.0
+	if phase == kir.InLoop {
+		compute = x.computeDelay()
+		// Modelled ALU work contributes to the MPKI denominator.
+		e.run.WarpInstrs += uint64(x.warps * x.k.ALUPerIter)
+	}
+	if x.gen.AccessSites(phase) == 0 {
+		x.phaseDone(t0 + compute)
+		return
+	}
+
+	x.buf = x.buf[:0]
+	instrs := 0
+	for w := 0; w < x.warps; w++ {
+		var n int
+		x.buf, n = x.gen.WarpTransactions(x.tb, w, m, phase, x.buf)
+		instrs += n
+	}
+	x.gen.FinalizeBytes(x.buf)
+	e.run.WarpInstrs += uint64(instrs)
+
+	// Each resident threadblock owns a share of the SM's MSHRs: at most
+	// `window` of its transactions are in flight at once.
+	window := e.cfg.MSHRsPerSM / x.resident
+	if window < 1 {
+		window = 1
+	}
+	pr := &phaseRun{
+		x:       x,
+		t0:      t0,
+		compute: compute,
+		txs:     append([]trace.Transaction(nil), x.buf...),
+		window:  window,
+	}
+	for i := range pr.txs {
+		if pr.txs[i].Mode == kir.Load {
+			pr.loadsTotal++
+		}
+	}
+	pr.lastIssue = t0
+	pr.issue(t0)
+}
+
+func (p *phaseRun) observe(end float64) {
+	if debugPhase != nil {
+		debugPhase(p.x.tb, p.x.stage, p.x.m, p.t0, end)
+	}
+}
+
+// phaseRun drives one memory phase: a sliding window of in-flight
+// transactions over the SM issue port, completion tracking, and the
+// barrier that ends the phase when all loads are back.
+type phaseRun struct {
+	x       *tbExec
+	t0      float64
+	compute float64
+
+	txs    []trace.Transaction
+	next   int // next tx to issue
+	window int
+
+	inFlight   int
+	loadsTotal int
+	loadsDone  int
+
+	maxLoad   float64
+	lastIssue float64
+	finished  bool
+}
+
+// issue pushes transactions into the window until it fills or the phase
+// runs out of work.
+func (p *phaseRun) issue(t float64) {
+	x := p.x
+	e := x.e
+	for p.inFlight < p.window && p.next < len(p.txs) {
+		tx := p.txs[p.next]
+		p.next++
+		p.inFlight++
+		at := e.smIssue[x.sm].Serve(maxF(t, p.t0), 1)
+		if at > p.lastIssue {
+			p.lastIssue = at
+		}
+		if debugTx != nil {
+			idx, txc, inner := p.next-1, tx, p.onTxDone
+			e.startTx(at, x.sm, x.node, tx, func(dt float64, blocks bool) {
+				debugTx(x.tb, x.m, idx, &txc, at, dt)
+				inner(dt, blocks)
+			})
+			continue
+		}
+		e.startTx(at, x.sm, x.node, tx, p.onTxDone)
+	}
+	p.maybeFinish()
+}
+
+// onTxDone retires one transaction, freeing its MSHR slot.
+func (p *phaseRun) onTxDone(t float64, blocks bool) {
+	p.inFlight--
+	if blocks {
+		p.loadsDone++
+		if t > p.maxLoad {
+			p.maxLoad = t
+		}
+	}
+	p.issue(t)
+}
+
+// maybeFinish ends the phase once all transactions are issued and all
+// loads have retired (outstanding stores drain in the background but hold
+// their MSHR slots).
+func (p *phaseRun) maybeFinish() {
+	if p.finished || p.next < len(p.txs) || p.loadsDone < p.loadsTotal {
+		return
+	}
+	p.finished = true
+	end := maxF(p.maxLoad, p.lastIssue) + p.compute
+	p.observe(end)
+	p.x.phaseDone(end)
+}
+
+// computeDelay returns the modelled compute time between memory phases.
+func (x *tbExec) computeDelay() float64 {
+	if x.k.ComputeCyclesPerIter > 0 {
+		return float64(x.k.ComputeCyclesPerIter)
+	}
+	return float64(x.k.ALUPerIter)
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

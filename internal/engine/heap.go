@@ -1,0 +1,64 @@
+package engine
+
+import "container/heap"
+
+// event is one scheduled callback of the discrete-event core. Ties on time
+// break on sequence number so runs are bit-for-bit deterministic.
+type event struct {
+	t   float64
+	seq uint64
+	fn  func(t float64)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// scheduler wraps the heap with monotonic dispatch.
+type scheduler struct {
+	events eventHeap
+	seq    uint64
+	now    float64
+}
+
+// at schedules fn to run at time t (clamped to now for past times).
+func (s *scheduler) at(t float64, fn func(t float64)) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{t: t, seq: s.seq, fn: fn})
+}
+
+// drain runs events until the heap empties, returning the time of the last
+// event.
+func (s *scheduler) drain() float64 {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.t > s.now {
+			s.now = ev.t
+		}
+		ev.fn(s.now)
+	}
+	return s.now
+}

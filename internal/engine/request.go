@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"ladm/internal/kir"
+	"ladm/internal/mem/cache"
+	"ladm/internal/stats"
+	"ladm/internal/trace"
+)
+
+// reqHeaderBytes models the control overhead of a network request or
+// response packet.
+const reqHeaderBytes = 16
+
+// The request path is event-chained: each hierarchy level books its
+// bandwidth when simulated time actually reaches it (issue -> requester
+// L2 -> home node -> response). Booking in time order is what keeps the
+// bandwidth servers honest — computing a whole multi-hop chain inside one
+// early event would reserve far-future slots and stall unrelated earlier
+// traffic behind them.
+//
+// Path: L1 -> requesting node's L2 slice -> (interconnect -> home L2 ->
+// home HBM -> interconnect) -> SM. The requester-side L2 caches remote
+// data (the dynamic shared L2 of Milic et al.); whether the *home* L2
+// also caches a remote-origin fill is the RTWICE/RONCE decision, taken
+// per data structure from the plan (LADM's CRB).
+
+// txDone receives a transaction's retirement time and whether the issuing
+// warp had to wait for it (loads block, stores are fire-and-forget).
+type txDone func(t float64, blocks bool)
+
+// startTx schedules the transaction's journey beginning at its issue time.
+// tx is captured by value: the caller's buffer may be reused.
+func (e *Engine) startTx(at float64, sm, node int, tx trace.Transaction, done txDone) {
+	e.sched.at(at, func(t float64) { e.txAtL1(t, sm, node, tx, done) })
+}
+
+// txAtL1 runs the L1 lookup and, on a miss, forwards the request across
+// the node fabric to the local L2 slice.
+func (e *Engine) txAtL1(t float64, sm, node int, tx trace.Transaction, done txDone) {
+	mask := cache.SectorMask(tx.Mask)
+	isStore := tx.Mode == kir.Store
+	cfg := e.cfg
+
+	missMask := mask
+	if !isStore {
+		res := e.l1[sm].Access(tx.Addr, mask, true, false)
+		e.run.L1Sectors += uint64(pop(mask))
+		e.run.L1Hits += uint64(pop(res.HitMask))
+		if res.MissMask == 0 {
+			done(t+float64(cfg.L1Lat), true)
+			return
+		}
+		missMask = res.MissMask
+	}
+	// Stores are write-through/no-allocate at L1: they always go to L2.
+	bytes := pop(missMask) * cfg.SectorBytes
+
+	// Page home resolution (first-touch faults happen here).
+	home := e.plan.Space.Home(tx.Addr)
+	t += float64(cfg.L1Lat)
+	if home < 0 {
+		e.plan.Space.TouchFirst(tx.Addr, node)
+		home = node
+		e.run.PageFaults++
+		t += e.plan.FaultCycles
+	}
+
+	// Oversubscription: a non-resident page is fetched over the host link.
+	// Proactive paging (LASP's locality-table prefetching) overlaps the
+	// transfer with earlier threadblocks, so only the bandwidth is charged;
+	// reactive demand paging exposes the full fault latency.
+	if !e.residency.Unlimited() {
+		if fetched, _ := e.residency.Touch(home, int(tx.Addr/cfg.PageBytes)); fetched {
+			gpu := cfg.GPUOfNode(home)
+			done := e.hostLink[gpu].Serve(t, int(cfg.PageBytes))
+			e.run.HostBytes += uint64(cfg.PageBytes)
+			if e.plan.Policy.ProactivePaging {
+				// Staged ahead of need: the request waits only when the
+				// host link itself is backlogged.
+				if wait := done - float64(cfg.PageBytes)/e.hostLink[gpu].Rate(); wait > t {
+					t = wait
+				}
+			} else {
+				t = done + float64(cfg.HostFetchCycles)
+			}
+		}
+	}
+
+	// Every L1 miss crosses the SM<->L2 fabric of the requesting node.
+	e.run.LocalBytes += uint64(bytes)
+	t = e.net.IntraNode(t, node, bytes)
+	e.sched.at(t, func(t float64) {
+		e.txAtLocalL2(t, node, home, tx, missMask, bytes, isStore, done)
+	})
+}
+
+// txAtLocalL2 services the request at the requesting node's L2 slice:
+// the whole story for node-local data, the "cache remote data locally"
+// lookup for remote data.
+func (e *Engine) txAtLocalL2(t float64, node, home int, tx trace.Transaction,
+	missMask cache.SectorMask, bytes int, isStore bool, done txDone) {
+	cfg := e.cfg
+
+	if home == node {
+		res := e.l2[node].Access(tx.Addr, missMask, true, isStore)
+		cat := &e.run.L2[stats.LocalLocal]
+		cat.Sectors += uint64(pop(missMask))
+		cat.Hits += uint64(pop(res.HitMask))
+		t = e.l2srv[node].Serve(t, bytes) + float64(cfg.L2Lat)
+		// The eviction happens at fill time, before the triggering request's
+		// own DRAM trip — booking it later would serialize whole latencies
+		// into the channel queue.
+		e.writeback(t, node, res)
+		if res.MissMask != 0 {
+			miss := pop(res.MissMask)
+			e.run.L2SectorMisses += uint64(miss)
+			dBytes := miss * cfg.SectorBytes
+			e.run.DRAMBytes += uint64(dBytes)
+			t = e.hbm[node].Access(t, tx.Addr, dBytes, isStore)
+		}
+		done(t, !isStore)
+		return
+	}
+
+	remMask := missMask
+	if !isStore {
+		// Requester-side L2 caches remote data.
+		res := e.l2[node].Access(tx.Addr, missMask, true, false)
+		cat := &e.run.L2[stats.LocalRemote]
+		cat.Sectors += uint64(pop(missMask))
+		cat.Hits += uint64(pop(res.HitMask))
+		t = e.l2srv[node].Serve(t, bytes) + float64(cfg.L2Lat)
+		e.writeback(t, node, res)
+		if res.MissMask == 0 {
+			done(t, true)
+			return
+		}
+		remMask = res.MissMask
+	}
+	remBytes := pop(remMask) * cfg.SectorBytes
+	e.run.L2SectorMisses += uint64(pop(remMask))
+
+	// Request packet to the home node (stores carry their payload).
+	reqBytes := reqHeaderBytes
+	if isStore {
+		reqBytes += remBytes
+	}
+	t, _ = e.net.Transfer(t, node, home, reqBytes)
+	e.sched.at(t, func(t float64) {
+		e.txAtHome(t, node, home, tx, remMask, remBytes, isStore, done)
+	})
+}
+
+// txAtHome services the request at the data's home node and, for loads,
+// sends the response back to the requester.
+func (e *Engine) txAtHome(t float64, node, home int, tx trace.Transaction,
+	remMask cache.SectorMask, remBytes int, isStore bool, done txDone) {
+	cfg := e.cfg
+
+	// RONCE structures bypass allocation for remote-origin read fills;
+	// stores always land (the home L2 is the line's point of coherence).
+	allocate := isStore || !e.plan.RemoteOnce[tx.Alloc.ID]
+	hres := e.l2[home].Access(tx.Addr, remMask, allocate, isStore)
+	hcat := &e.run.L2[stats.RemoteLocal]
+	hcat.Sectors += uint64(pop(remMask))
+	hcat.Hits += uint64(pop(hres.HitMask))
+	t = e.l2srv[home].Serve(t, remBytes) + float64(cfg.L2Lat)
+	e.writeback(t, home, hres)
+
+	if hres.MissMask != 0 {
+		miss := pop(hres.MissMask)
+		dBytes := miss * cfg.SectorBytes
+		e.run.DRAMBytes += uint64(dBytes)
+		t = e.hbm[home].Access(t, tx.Addr, dBytes, isStore)
+	}
+
+	if isStore {
+		done(t, false)
+		return
+	}
+	// Response with the data travels back and crosses the requester's
+	// intra-node fabric to the SM.
+	t, _ = e.net.Transfer(t, home, node, remBytes+reqHeaderBytes)
+	e.sched.at(t, func(t float64) {
+		done(e.net.IntraNode(t, node, remBytes), true)
+	})
+}
+
+// writeback retires a dirty eviction to the evicting node's DRAM. Dirty
+// lines only exist in the slice that homes them (remote data is cached
+// clean), so the writeback is always node local.
+func (e *Engine) writeback(t float64, node int, res cache.Result) {
+	if res.WritebackSectors == 0 {
+		return
+	}
+	bytes := res.WritebackSectors * e.cfg.SectorBytes
+	e.run.DRAMBytes += uint64(bytes)
+	// Asynchronous: charges DRAM bandwidth without delaying the request.
+	e.hbm[node].Access(t, res.VictimAddr, bytes, true)
+}
+
+func pop(m cache.SectorMask) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps experiment tests quick: a small workload subset at high
+// scale. The full sweeps run through cmd/ladmbench.
+func fastOpts(workloads ...string) Options {
+	return Options{Scale: 16, Workloads: workloads}
+}
+
+func TestTable1Static(t *testing.T) {
+	r, err := Table1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LADM checks every box; CODA only page alignment + transparency.
+	if r.Values["ladm"] != 9 {
+		t.Errorf("LADM capabilities = %v, want 9", r.Values["ladm"])
+	}
+	if r.Values["coda"] != 2 {
+		t.Errorf("CODA capabilities = %v, want 2", r.Values["coda"])
+	}
+	for _, frag := range []string{"Row sharing", "Hierarchical-aware", "LADM"} {
+		if !strings.Contains(r.Text, frag) {
+			t.Errorf("table1 missing %q", frag)
+		}
+	}
+}
+
+func TestTable2AllRowsClassify(t *testing.T) {
+	r, err := Table2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each canonical index form must land in its own Table II row.
+	for row := 1; row <= 7; row++ {
+		key := []string{"", "row1", "row2", "row3", "row4", "row5", "row6", "row7"}[row]
+		if got := int(r.Values[key]); got != row {
+			t.Errorf("index form %d classified into row %d", row, got)
+		}
+	}
+}
+
+func TestTable3Geometry(t *testing.T) {
+	r, err := Table3(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["sms"] != 256 || r.Values["nodes"] != 16 {
+		t.Errorf("table3 geometry: %v", r.Values)
+	}
+	if !strings.Contains(r.Text, "4 GPUs, 4 chiplets per GPU") {
+		t.Errorf("table3 text:\n%s", r.Text)
+	}
+}
+
+func TestTable4Subset(t *testing.T) {
+	r, err := Table4(fastOpts("vecadd", "sq-gemm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["vecadd/mpki"] <= 0 {
+		t.Error("vecadd MPKI not measured")
+	}
+	if !strings.Contains(r.Text, "NL (NL)") {
+		t.Errorf("vecadd characterization missing:\n%s", r.Text)
+	}
+	if !strings.Contains(r.Text, "Row-sched (row-binding)") {
+		t.Errorf("sq-gemm scheduler decision missing:\n%s", r.Text)
+	}
+}
+
+func TestFig4Subset(t *testing.T) {
+	r, err := Fig4(fastOpts("vecadd", "scalarprod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every config/policy cell must be positive and below ~monolithic.
+	for k, v := range r.Values {
+		if v <= 0 {
+			t.Errorf("%s = %f", k, v)
+		}
+	}
+	// More link bandwidth should not hurt the baseline (weak shape check).
+	if r.Values["xbar-360GBs/baseline-rr"] < r.Values["xbar-90GBs/baseline-rr"]*0.9 {
+		t.Errorf("baseline got worse with more bandwidth: %f vs %f",
+			r.Values["xbar-360GBs/baseline-rr"], r.Values["xbar-90GBs/baseline-rr"])
+	}
+}
+
+func TestFig9And10Subset(t *testing.T) {
+	o := fastOpts("vecadd", "sq-gemm", "pagerank")
+	f9, f10, err := Fig9And10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalization sanity: H-CODA is 1.0 by construction.
+	if v := f9.Values["geomean/all/h-coda"]; v < 0.999 || v > 1.001 {
+		t.Errorf("h-coda norm = %f", v)
+	}
+	// LADM should not lose to H-CODA on this subset.
+	if f9.Values["geomean/all/ladm"] < 1.0 {
+		t.Errorf("LADM geomean = %f", f9.Values["geomean/all/ladm"])
+	}
+	// Off-node traffic must not increase under LADM.
+	if f10.Values["offnode/ladm"] > f10.Values["offnode/h-coda"] {
+		t.Errorf("LADM off-node %f > H-CODA %f",
+			f10.Values["offnode/ladm"], f10.Values["offnode/h-coda"])
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r, err := Fig11(Options{Scale: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The case study's two directions (the paper's Figure 11): RONCE wins
+	// on random-loc, RTWICE wins on sq-gemm.
+	if r.Values["random-loc/ronce/cycles"] >= r.Values["random-loc/rtwice/cycles"] {
+		t.Errorf("RONCE should win random-loc: %f vs %f",
+			r.Values["random-loc/ronce/cycles"], r.Values["random-loc/rtwice/cycles"])
+	}
+	if r.Values["sq-gemm/rtwice/cycles"] >= r.Values["sq-gemm/ronce/cycles"] {
+		t.Errorf("RTWICE should win sq-gemm: %f vs %f",
+			r.Values["sq-gemm/rtwice/cycles"], r.Values["sq-gemm/ronce/cycles"])
+	}
+	// Bypassing must crush the home-side hit rate on random-loc.
+	if r.Values["random-loc/ronce/REMOTE-LOCAL/hit"] >= r.Values["random-loc/rtwice/REMOTE-LOCAL/hit"] {
+		t.Error("RONCE did not bypass the home L2")
+	}
+}
+
+func TestHWValidShape(t *testing.T) {
+	r, err := HWValid(Options{Scale: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LASP must beat both CODA and kernel-wide on the ML workloads
+	// (paper: 1.9x and 1.4x on real hardware).
+	if r.Values["lasp-vs-coda"] <= 1.0 {
+		t.Errorf("LASP vs CODA = %f", r.Values["lasp-vs-coda"])
+	}
+	if r.Values["lasp-vs-kernel-wide"] <= 1.0 {
+		t.Errorf("LASP vs kernel-wide = %f", r.Values["lasp-vs-kernel-wide"])
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != 12 {
+		t.Errorf("experiment count = %d", len(names))
+	}
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	// Static experiments run through the dispatcher.
+	for _, name := range []string{"table1", "table2", "table3"} {
+		r, err := Run(name, Options{})
+		if err != nil || r.Name != name {
+			t.Errorf("Run(%s): %v, %v", name, r, err)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := DefaultOptions()
+	if o.Scale < 1 {
+		t.Error("default scale invalid")
+	}
+	if (Options{Scale: -3}).scale() != 1 {
+		t.Error("negative scale should clamp")
+	}
+	specs, err := (Options{Scale: 16}).specs()
+	if err != nil || len(specs) != 27 {
+		t.Errorf("default specs: %d, %v", len(specs), err)
+	}
+	if _, err := (Options{Workloads: []string{"nope"}}).specs(); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	cases := map[string]string{
+		"NL": "NL", "NL-Xstride": "NL", "NL-Ystride": "NL",
+		"RCL": "RCL", "ITL": "ITL", "unclassified": "Unclassified",
+	}
+	for label, want := range cases {
+		if got := groupOf(label); got != want {
+			t.Errorf("groupOf(%s) = %s", label, got)
+		}
+	}
+}
+
+func TestOversubShape(t *testing.T) {
+	r, err := Oversub(Options{Scale: 12, Workloads: []string{"vecadd"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proactive staging must degrade far less than reactive faulting at
+	// 25% capacity (both relative to LADM unlimited).
+	ladm := r.Values["vecadd/ladm/25%"]
+	ft := r.Values["vecadd/batch+ft/25%"]
+	if ladm <= 0 || ft <= 0 {
+		t.Fatalf("missing values: %v", r.Values)
+	}
+	if ft < 2*ladm {
+		t.Errorf("reactive paging (%.1f) should be far worse than proactive (%.1f)", ft, ladm)
+	}
+	// Capacity pressure must actually cause host fetches.
+	if r.Values["vecadd/ladm/50%"] <= r.Values["vecadd/ladm/unlimited"] {
+		t.Error("oversubscription had no cost")
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ladm/internal/arch"
+	"ladm/internal/core"
+	rt "ladm/internal/runtime"
+	"ladm/internal/stats"
+)
+
+// Scaling is an extension study in the spirit of the paper's motivation:
+// as "massive logical GPUs" grow — more chiplets, more discrete GPUs —
+// NUMA depth increases and locality management matters more. The
+// experiment holds per-chiplet resources fixed (16 SMs, 1 MB L2, 180 GB/s
+// HBM) and sweeps the hierarchy from one GPU of 4 chiplets to 8 GPUs of 4
+// chiplets, reporting LADM's advantage over H-CODA at each size.
+func Scaling(o Options) (*Result, error) {
+	if len(o.Workloads) == 0 {
+		o.Workloads = []string{"sq-gemm", "scalarprod", "pagerank", "srad"}
+	}
+	specs, err := o.specs()
+	if err != nil {
+		return nil, err
+	}
+
+	shapes := []struct{ gpus, chiplets int }{
+		{1, 4}, {2, 4}, {4, 4}, {8, 4},
+	}
+	var cells []core.Job
+	var names []string
+	for _, sh := range shapes {
+		cfg := arch.DefaultHierarchical()
+		cfg.GPUs = sh.gpus
+		cfg.ChipletsPerGPU = sh.chiplets
+		cfg.Name = fmt.Sprintf("%dgpu-x%d", sh.gpus, sh.chiplets)
+		names = append(names, cfg.Name)
+		for _, p := range []rt.Policy{rt.HCODA(), rt.LADM()} {
+			cells = append(cells, polCell(p, cfg, p.Name+"@"+cfg.Name))
+		}
+	}
+	byWL, err := runMatrix(specs, cells, o)
+	if err != nil {
+		return nil, err
+	}
+
+	values := map[string]float64{}
+	var b strings.Builder
+	b.WriteString(header("Scaling study: LADM advantage vs system size (extension)"))
+	headers := append([]string{"workload"}, names...)
+	var rows [][]string
+	perShape := make([][]float64, len(shapes))
+	for _, s := range specs {
+		runs := byWL[s.W.Name]
+		row := []string{s.W.Name}
+		for i := range shapes {
+			hcoda, ladm := runs[2*i], runs[2*i+1]
+			sp := ladm.Speedup(hcoda)
+			perShape[i] = append(perShape[i], sp)
+			values[s.W.Name+"/"+names[i]] = sp
+			row = append(row, stats.Fmt(sp))
+		}
+		rows = append(rows, row)
+	}
+	row := []string{"geomean"}
+	for i, name := range names {
+		g := stats.Geomean(perShape[i])
+		values["geomean/"+name] = g
+		row = append(row, stats.Fmt(g))
+	}
+	rows = append(rows, row)
+	b.WriteString(stats.Table(headers, rows))
+	b.WriteString("\nEach cell: LADM speedup over H-CODA on that machine. Per-chiplet\nresources are held constant; only the NUMA hierarchy grows.\n")
+	return &Result{Name: "scaling", Text: b.String(), Values: values}, nil
+}

@@ -1,0 +1,240 @@
+// Package interconnect models the hierarchical fabric of the massive
+// logical GPU (Figure 1 of the paper): a per-chiplet SM↔L2 crossbar, a
+// bi-directional ring connecting the chiplets of one GPU, and a switch
+// connecting the discrete GPUs. Each level is a bandwidth-limited resource
+// plus a fixed hop latency; a transfer occupies every resource along its
+// path in order, so saturating any level back-pressures exactly the
+// traffic that crosses it — the mechanism behind the paper's bandwidth
+// sensitivity results (Figure 4).
+package interconnect
+
+import (
+	"fmt"
+
+	"ladm/internal/arch"
+	"ladm/internal/queueing"
+)
+
+// Kind classifies a transfer by the highest hierarchy level it crosses.
+type Kind int
+
+const (
+	// Local stays within one chiplet (SM to its own L2/DRAM).
+	Local Kind = iota
+	// InterChiplet crosses chiplets of the same GPU (ring).
+	InterChiplet
+	// InterGPU crosses discrete GPUs (switch).
+	InterGPU
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Local:
+		return "local"
+	case InterChiplet:
+		return "inter-chiplet"
+	case InterGPU:
+		return "inter-GPU"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Network is the fabric of one simulated machine.
+type Network struct {
+	cfg *arch.Config
+
+	intra   []*queueing.Resource // per node: SM<->L2 crossbar
+	ring    []*queueing.Resource // per GPU: inter-chiplet ring (aggregate)
+	egress  []*queueing.Resource // per GPU: switch uplink
+	ingress []*queueing.Resource // per GPU: switch downlink
+
+	// hop links for the detailed ring: hops[gpu][dir*C+chiplet] is the
+	// directional link leaving that chiplet (dir 0 = clockwise).
+	hops [][]*queueing.Resource
+
+	bytes [3]uint64 // by Kind
+}
+
+// New builds the fabric for cfg.
+func New(cfg *arch.Config) *Network {
+	n := &Network{cfg: cfg}
+	intraRate := cfg.BytesPerCycle(cfg.IntraChipletGBs)
+	for node := 0; node < cfg.Nodes(); node++ {
+		n.intra = append(n.intra, queueing.NewResource(
+			fmt.Sprintf("intra.n%d", node), intraRate))
+	}
+	ringRate := cfg.BytesPerCycle(cfg.InterChipletGBs)
+	linkRate := cfg.BytesPerCycle(cfg.InterGPUGBs)
+	chiplets := cfg.ChipletsPerGPU
+	for gpu := 0; gpu < cfg.GPUs; gpu++ {
+		n.ring = append(n.ring, queueing.NewResource(
+			fmt.Sprintf("ring.g%d", gpu), ringRate))
+		n.egress = append(n.egress, queueing.NewResource(
+			fmt.Sprintf("egress.g%d", gpu), linkRate))
+		n.ingress = append(n.ingress, queueing.NewResource(
+			fmt.Sprintf("ingress.g%d", gpu), linkRate))
+		if cfg.PerLinkRing && chiplets > 1 {
+			// 2*C directional links sharing the GPU's aggregate ring
+			// bandwidth.
+			per := ringRate / float64(2*chiplets)
+			links := make([]*queueing.Resource, 2*chiplets)
+			for i := range links {
+				links[i] = queueing.NewResource(
+					fmt.Sprintf("hop.g%d.%d", gpu, i), per)
+			}
+			n.hops = append(n.hops, links)
+		} else {
+			n.hops = append(n.hops, nil)
+		}
+	}
+	return n
+}
+
+// ringHop serves one inter-chiplet transfer on the detailed ring: the
+// message takes the shortest direction, occupying every directional hop
+// link along the way.
+func (n *Network) ringHop(now float64, src, dst, bytes int) float64 {
+	cfg := n.cfg
+	c := cfg.ChipletsPerGPU
+	gpu := cfg.GPUOfNode(src)
+	s := src - gpu*c
+	d := dst - gpu*c
+	cw := (d - s + c) % c  // hops clockwise
+	ccw := (s - d + c) % c // hops counter-clockwise
+	dir, hops := 0, cw
+	if ccw < cw {
+		dir, hops = 1, ccw
+	}
+	t := now
+	pos := s
+	for i := 0; i < hops; i++ {
+		t = n.hops[gpu][dir*c+pos].Serve(t, bytes)
+		if dir == 0 {
+			pos = (pos + 1) % c
+		} else {
+			pos = (pos - 1 + c) % c
+		}
+		t += float64(cfg.InterChipletLat) / float64(maxI(1, hops))
+	}
+	return t
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Classify returns the hierarchy level a src→dst transfer crosses.
+func (n *Network) Classify(src, dst int) Kind {
+	switch {
+	case src == dst:
+		return Local
+	case n.cfg.SameGPU(src, dst):
+		return InterChiplet
+	default:
+		return InterGPU
+	}
+}
+
+// IntraNode serves an SM↔L2 transfer of bytes within node, returning the
+// completion time. This is the only fabric a monolithic GPU has.
+func (n *Network) IntraNode(now float64, node, bytes int) float64 {
+	n.bytes[Local] += uint64(bytes)
+	return n.intra[node].Serve(now, bytes)
+}
+
+// Transfer moves bytes from node src to node dst starting at now and
+// returns the arrival time and the traffic class. Local transfers cross no
+// fabric and arrive immediately (the caller models the SM↔L2 leg with
+// IntraNode).
+func (n *Network) Transfer(now float64, src, dst, bytes int) (arrive float64, kind Kind) {
+	kind = n.Classify(src, dst)
+	n.bytes[kind] += uint64(bytes)
+	switch kind {
+	case Local:
+		return now, kind
+	case InterChiplet:
+		g := n.cfg.GPUOfNode(src)
+		if n.hops[g] != nil {
+			return n.ringHop(now, src, dst, bytes), kind
+		}
+		done := n.ring[g].Serve(now, bytes)
+		return done + float64(n.cfg.InterChipletLat), kind
+	default: // InterGPU
+		sg, dg := n.cfg.GPUOfNode(src), n.cfg.GPUOfNode(dst)
+		t := now
+		if n.cfg.ChipletsPerGPU > 1 {
+			// Reach the switch port at the GPU's chiplet 0, then leave the
+			// destination GPU's port for the destination chiplet.
+			if n.hops[sg] != nil {
+				if port := sg * n.cfg.ChipletsPerGPU; port != src {
+					t = n.ringHop(t, src, port, bytes)
+				}
+			} else {
+				t = n.ring[sg].Serve(t, bytes)
+			}
+		}
+		t = n.egress[sg].Serve(t, bytes)
+		t = n.ingress[dg].Serve(t, bytes)
+		if n.cfg.ChipletsPerGPU > 1 {
+			if n.hops[dg] != nil {
+				if port := dg * n.cfg.ChipletsPerGPU; port != dst {
+					t = n.ringHop(t, port, dst, bytes)
+				}
+			} else {
+				t = n.ring[dg].Serve(t, bytes)
+			}
+		}
+		return t + float64(n.cfg.InterGPULat), kind
+	}
+}
+
+// Bytes returns the total bytes moved at the given level.
+func (n *Network) Bytes(kind Kind) uint64 { return n.bytes[kind] }
+
+// TotalOffNodeBytes returns bytes that left their source chiplet.
+func (n *Network) TotalOffNodeBytes() uint64 {
+	return n.bytes[InterChiplet] + n.bytes[InterGPU]
+}
+
+// MaxBusy returns the largest busy time across all fabric resources of the
+// given level — the runtime lower bound that level imposes.
+func (n *Network) MaxBusy(kind Kind) float64 {
+	var pools [][]*queueing.Resource
+	switch kind {
+	case Local:
+		pools = [][]*queueing.Resource{n.intra}
+	case InterChiplet:
+		pools = [][]*queueing.Resource{n.ring}
+		pools = append(pools, n.hops...)
+	default:
+		pools = [][]*queueing.Resource{n.egress, n.ingress}
+	}
+	var m float64
+	for _, pool := range pools {
+		for _, r := range pool {
+			if b := r.BusyCycles(); b > m {
+				m = b
+			}
+		}
+	}
+	return m
+}
+
+// Reset clears all resource schedules and byte counters.
+func (n *Network) Reset() {
+	for _, pool := range [][]*queueing.Resource{n.intra, n.ring, n.egress, n.ingress} {
+		for _, r := range pool {
+			r.Reset()
+		}
+	}
+	for _, links := range n.hops {
+		for _, r := range links {
+			r.Reset()
+		}
+	}
+	n.bytes = [3]uint64{}
+}

@@ -1,0 +1,245 @@
+package interconnect
+
+import (
+	"testing"
+
+	"ladm/internal/arch"
+)
+
+func hierNet() (*Network, arch.Config) {
+	cfg := arch.DefaultHierarchical()
+	return New(&cfg), cfg
+}
+
+func TestClassify(t *testing.T) {
+	n, _ := hierNet()
+	cases := []struct {
+		src, dst int
+		want     Kind
+	}{
+		{0, 0, Local},
+		{0, 1, InterChiplet},
+		{0, 3, InterChiplet},
+		{0, 4, InterGPU},
+		{5, 6, InterChiplet},
+		{15, 0, InterGPU},
+	}
+	for _, tc := range cases {
+		if got := n.Classify(tc.src, tc.dst); got != tc.want {
+			t.Errorf("Classify(%d,%d) = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Local: "local", InterChiplet: "inter-chiplet", InterGPU: "inter-GPU"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestTransferLatencyOrdering(t *testing.T) {
+	n, _ := hierNet()
+	local, _ := n.Transfer(0, 0, 0, 32)
+	chiplet, _ := n.Transfer(0, 0, 1, 32)
+	gpu, _ := n.Transfer(0, 0, 4, 32)
+	if !(local < chiplet && chiplet < gpu) {
+		t.Errorf("latency ordering violated: local=%f chiplet=%f gpu=%f", local, chiplet, gpu)
+	}
+}
+
+func TestTransferKinds(t *testing.T) {
+	n, _ := hierNet()
+	if _, k := n.Transfer(0, 2, 2, 32); k != Local {
+		t.Errorf("same node kind = %v", k)
+	}
+	if _, k := n.Transfer(0, 0, 2, 32); k != InterChiplet {
+		t.Errorf("same GPU kind = %v", k)
+	}
+	if _, k := n.Transfer(0, 0, 9, 32); k != InterGPU {
+		t.Errorf("cross GPU kind = %v", k)
+	}
+	if got := n.Bytes(InterChiplet); got != 32 {
+		t.Errorf("inter-chiplet bytes = %d", got)
+	}
+	if got := n.Bytes(InterGPU); got != 32 {
+		t.Errorf("inter-GPU bytes = %d", got)
+	}
+	if got := n.TotalOffNodeBytes(); got != 64 {
+		t.Errorf("off-node bytes = %d", got)
+	}
+}
+
+func TestContentionDelaysTransfers(t *testing.T) {
+	n, _ := hierNet()
+	// Saturate GPU 0's egress with a huge transfer, then measure a small
+	// one behind it.
+	first, _ := n.Transfer(0, 0, 4, 1<<20)
+	second, _ := n.Transfer(0, 0, 4, 32)
+	if second <= first {
+		t.Errorf("queued transfer (%f) should finish after the saturating one (%f)", second, first)
+	}
+	// An unrelated GPU pair is unaffected.
+	other, _ := n.Transfer(0, 8, 12, 32)
+	if other >= first {
+		t.Errorf("independent path should not see the congestion: %f vs %f", other, first)
+	}
+}
+
+func TestIntraNode(t *testing.T) {
+	n, cfg := hierNet()
+	rate := cfg.BytesPerCycle(cfg.IntraChipletGBs)
+	done := n.IntraNode(0, 3, 1024)
+	want := 1024 / rate
+	if diff := done - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("IntraNode completion = %f, want %f", done, want)
+	}
+	if n.Bytes(Local) != 1024 {
+		t.Errorf("local bytes = %d", n.Bytes(Local))
+	}
+}
+
+func TestMonolithicSkipsRings(t *testing.T) {
+	cfg := arch.MonolithicGPU()
+	n := New(&cfg)
+	if k := n.Classify(0, 0); k != Local {
+		t.Errorf("monolithic classify = %v", k)
+	}
+	// All traffic is local; Transfer with src==dst must not move bytes
+	// through any ring or switch.
+	arrive, kind := n.Transfer(5, 0, 0, 4096)
+	if kind != Local || arrive != 5 {
+		t.Errorf("monolithic transfer: arrive=%f kind=%v", arrive, kind)
+	}
+	if n.TotalOffNodeBytes() != 0 {
+		t.Error("monolithic produced off-node traffic")
+	}
+}
+
+func TestFlatMultiGPUSkipsRingLegs(t *testing.T) {
+	cfg := arch.FourGPUSwitch(180)
+	n := New(&cfg)
+	// With one chiplet per GPU the path is egress+ingress only; the ring
+	// resources must stay idle.
+	n.Transfer(0, 0, 3, 1<<16)
+	if b := n.MaxBusy(InterChiplet); b != 0 {
+		t.Errorf("flat topology used ring: busy=%f", b)
+	}
+	if b := n.MaxBusy(InterGPU); b == 0 {
+		t.Error("switch links unused on inter-GPU transfer")
+	}
+}
+
+func TestMaxBusyAndReset(t *testing.T) {
+	n, _ := hierNet()
+	n.Transfer(0, 0, 1, 1<<16)
+	if n.MaxBusy(InterChiplet) == 0 {
+		t.Error("ring busy not recorded")
+	}
+	n.IntraNode(0, 0, 4096)
+	if n.MaxBusy(Local) == 0 {
+		t.Error("intra busy not recorded")
+	}
+	n.Reset()
+	if n.MaxBusy(InterChiplet) != 0 || n.MaxBusy(Local) != 0 || n.TotalOffNodeBytes() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestRingBandwidthScaling(t *testing.T) {
+	// The 2.8 TB/s ring moves the same bytes in half the busy time of the
+	// 1.4 TB/s ring.
+	slow := arch.FourChipletRing(1400)
+	fast := arch.FourChipletRing(2800)
+	ns, nf := New(&slow), New(&fast)
+	ns.Transfer(0, 0, 1, 1<<20)
+	nf.Transfer(0, 0, 1, 1<<20)
+	ratio := ns.MaxBusy(InterChiplet) / nf.MaxBusy(InterChiplet)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("busy ratio = %f, want 2", ratio)
+	}
+}
+
+func perLinkNet() (*Network, arch.Config) {
+	cfg := arch.DefaultHierarchical()
+	cfg.PerLinkRing = true
+	return New(&cfg), cfg
+}
+
+func TestPerLinkRingShortestPath(t *testing.T) {
+	n, cfg := perLinkNet()
+	// Adjacent chiplets take one hop; opposite chiplets two — the two-hop
+	// path adds serialization on two links.
+	oneHop, _ := n.Transfer(0, 0, 1, 1<<16)
+	n2, _ := perLinkNet()
+	twoHop, _ := n2.Transfer(0, 0, 2, 1<<16)
+	if twoHop <= oneHop {
+		t.Errorf("two-hop transfer (%f) should take longer than one-hop (%f)", twoHop, oneHop)
+	}
+	_ = cfg
+}
+
+func TestPerLinkRingDirections(t *testing.T) {
+	n, _ := perLinkNet()
+	// 0->3 on a 4-ring goes counter-clockwise (1 hop), leaving the
+	// clockwise links untouched.
+	n.Transfer(0, 0, 3, 1<<16)
+	if n.MaxBusy(InterChiplet) == 0 {
+		t.Fatal("no hop link used")
+	}
+	// Independent links: saturating 0->1 does not delay 2->3.
+	n2, _ := perLinkNet()
+	first, _ := n2.Transfer(0, 0, 1, 1<<20)
+	other, _ := n2.Transfer(0, 2, 3, 1<<10)
+	if other >= first {
+		t.Errorf("disjoint hop links should not contend: %f vs %f", other, first)
+	}
+}
+
+func TestPerLinkRingPreservesAccounting(t *testing.T) {
+	n, _ := perLinkNet()
+	n.Transfer(0, 0, 1, 4096)
+	n.Transfer(0, 0, 9, 4096) // cross-GPU uses ring legs at both ends
+	if n.Bytes(InterChiplet) != 4096 || n.Bytes(InterGPU) != 4096 {
+		t.Errorf("byte accounting: chiplet=%d gpu=%d",
+			n.Bytes(InterChiplet), n.Bytes(InterGPU))
+	}
+	n.Reset()
+	if n.MaxBusy(InterChiplet) != 0 {
+		t.Error("Reset missed hop links")
+	}
+}
+
+// TestPerLinkEngineRuns exercises the detailed ring through a whole
+// simulation and confirms it is at least as pessimistic as the aggregate
+// model (same aggregate bandwidth, added per-hop serialization).
+func TestPerLinkEngineRuns(t *testing.T) {
+	cfg := arch.DefaultHierarchical()
+	cfgDetail := cfg
+	cfgDetail.PerLinkRing = true
+	cfgDetail.Name = "hier-perlink"
+
+	agg := New(&cfg)
+	det := New(&cfgDetail)
+	// A burst of all-to-all chiplet traffic within GPU 0.
+	var aggEnd, detEnd float64
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if s == d {
+				continue
+			}
+			a, _ := agg.Transfer(0, s, d, 1<<14)
+			b, _ := det.Transfer(0, s, d, 1<<14)
+			if a > aggEnd {
+				aggEnd = a
+			}
+			if b > detEnd {
+				detEnd = b
+			}
+		}
+	}
+	if detEnd < aggEnd*0.5 {
+		t.Errorf("detailed ring implausibly faster: %f vs aggregate %f", detEnd, aggEnd)
+	}
+}

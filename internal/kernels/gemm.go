@@ -1,0 +1,273 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ladm/internal/kir"
+	sym "ladm/internal/symbolic"
+)
+
+func init() {
+	register("sq-gemm", func(s int) *Spec { return sqGemm(s) })
+	register("alexnet-fc2", func(s int) *Spec {
+		return dlGemm("alexnet-fc2", 64, 4096, 4096, s, 400, 2048, 8)
+	})
+	register("vggnet-fc2", func(s int) *Spec {
+		return dlGemm("vggnet-fc2", 256, 4096, 4096, s, 76, 8192, 8)
+	})
+	register("resnet50-fc", func(s int) *Spec {
+		return dlGemm("resnet50-fc", 1024, 2048, 2048, s, 99, 16384, 17)
+	})
+	register("lstm-1", func(s int) *Spec {
+		return dlGemm("lstm-1", 128, 1024, 4096, s, 64, 4096, 6)
+	})
+	register("lstm-2", func(s int) *Spec {
+		return dlGemm("lstm-2", 128, 1024, 2048, s, 32, 2048, 27)
+	})
+	register("conv", convRows)
+	register("histo-main", histoMain)
+	register("fwt-k2", fwtK2)
+	register("tra", transpose)
+}
+
+// gemmKernel builds a tiled matrix multiply C[M x N] = A[M x K] * B[K x N]
+// with the paper's Figure 6 index structure. The block is (tx, ty); the
+// grid tiles N horizontally and M vertically; the outer loop walks K in
+// steps of tileK.
+//
+// A's index is loop-invariant in blockIdx.y only with horizontal motion
+// (Table II row 2); B's is invariant in blockIdx.x with vertical motion
+// (row 5); C is no-locality (row 1).
+func gemmKernel(name string, m, n, k, blockX, blockY, tileK int, compute int) (*kir.Kernel, [3]uint64) {
+	nExpr := sym.Prod(sym.GDx, sym.BDx) // N = gridDim.x * blockDim.x tiles exactly
+	row := rowExpr()
+	col := colExpr()
+	aIdx := sym.Sum(sym.Prod(row, sym.P("K")), sym.Prod(sym.M, sym.C(int64(tileK))), sym.Tx)
+	bIdx := sym.Sum(sym.Prod(sym.Sum(sym.Prod(sym.M, sym.C(int64(tileK))), sym.Ty), nExpr), col)
+	cIdx := sym.Sum(sym.Prod(row, nExpr), col)
+	kern := &kir.Kernel{
+		Name:  name,
+		Grid:  kir.Dim2(n/blockX, m/blockY),
+		Block: kir.Dim2(blockX, blockY),
+		Iters: k / tileK,
+		// Tiled GEMM does tileK MACs per element per iteration out of
+		// shared memory: high arithmetic intensity.
+		ALUPerIter:           compute,
+		ComputeCyclesPerIter: compute,
+		Params:               map[string]int64{"K": int64(k)},
+		Accesses: []kir.Access{
+			{Array: "A", ElemSize: 4, Mode: kir.Load, Index: aIdx},
+			{Array: "B", ElemSize: 4, Mode: kir.Load, Index: bIdx},
+			{Array: "C", ElemSize: 4, Mode: kir.Store, Index: cIdx, Phase: kir.PostLoop},
+		},
+	}
+	sizes := [3]uint64{
+		uint64(m) * uint64(k) * 4,
+		uint64(k) * uint64(n) * 4,
+		uint64(m) * uint64(n) * 4,
+	}
+	return kern, sizes
+}
+
+func gemmSpec(kern *kir.Kernel, sizes [3]uint64, suite string) *kir.Workload {
+	return &kir.Workload{
+		Name: kern.Name, Suite: suite,
+		Allocs: []kir.AllocSpec{
+			{ID: "A", Bytes: sizes[0], ElemSize: 4},
+			{ID: "B", Bytes: sizes[1], ElemSize: 4},
+			{ID: "C", Bytes: sizes[2], ElemSize: 4},
+		},
+		Launches: []kir.Launch{{Kernel: kern}},
+	}
+}
+
+// sqGemm is the reference square-ish GEMM with A larger than B, so LASP's
+// input-size-aware tie break picks the row-binding scheduler.
+func sqGemm(scale int) *Spec {
+	m := div(1024, scale, 32)
+	n := div(512, scale, 32)
+	k := div(4096, scale, 32)
+	kern, sizes := gemmKernel("sq-gemm", m, n, k, 16, 16, 16, 64)
+	return mustValid(&Spec{
+		W:             gemmSpec(kern, sizes, "cuda-sdk"),
+		LocalityLabel: "RCL", SchedLabel: "Row-sched",
+		PaperInputMB: 128, PaperTBs: 2048, PaperMPKI: 61,
+	})
+}
+
+// dlGemm models the deep-learning layers of Table IV: a small activation
+// matrix A times a large weight matrix B, favouring column binding.
+func dlGemm(name string, m, k, n, scale, paperMB, paperTBs, paperMPKI int) *Spec {
+	ms := div(m, scale, 8)
+	ks := div(k, scale, 64)
+	ns := div(n, scale, 64)
+	kern, sizes := gemmKernel(name, ms, ns, ks, 32, 4, 8, 48)
+	if sizes[1] <= sizes[0] {
+		panic(fmt.Sprintf("kernels: %s weights must dominate", name))
+	}
+	return mustValid(&Spec{
+		W:             gemmSpec(kern, sizes, "dl"),
+		LocalityLabel: "RCL", SchedLabel: "Col-sched",
+		PaperInputMB: paperMB, PaperTBs: paperTBs, PaperMPKI: paperMPKI,
+	})
+}
+
+// CustomGEMM builds a DL-style GEMM with explicit dimensions, bypassing
+// the registry's scaling. The benchmark harness uses it when an experiment
+// needs paper-width weight matrices (e.g. the Section IV-C validation,
+// where column placement requires rows wide enough to split across GPUs)
+// while keeping the reduction dimension small enough to simulate quickly.
+func CustomGEMM(name string, m, k, n int) *Spec {
+	kern, sizes := gemmKernel(name, m, n, k, 32, 4, 8, 48)
+	return mustValid(&Spec{
+		W:             gemmSpec(kern, sizes, "dl"),
+		LocalityLabel: "RCL", SchedLabel: "Col-sched",
+		PaperInputMB: int(sizes[0]+sizes[1]+sizes[2]) >> 20,
+		PaperTBs:     kern.Grid.Count(),
+		PaperMPKI:    1,
+	})
+}
+
+// convRows is the separable-convolution row pass: each threadblock owns a
+// four-row strip of the image and streams it with a halo of radius 8 —
+// row-locality, horizontally shared.
+func convRows(scale int) *Spec {
+	gy := div(18432, scale, 64)
+	iters := 30
+	width := int64(16 * iters) // W = blockDim.x * iters
+	h := uint64(gy * 4)
+	cells := uint64(width) * h
+	center := sym.Sum(sym.Prod(rowExpr(), sym.P("W")), sym.Prod(sym.M, sym.C(16)), sym.Tx)
+	k := &kir.Kernel{
+		Name: "conv", Grid: kir.Dim2(1, gy), Block: kir.Dim2(16, 4),
+		Iters: iters, ALUPerIter: 34, // 17-tap filter MACs
+		Params: map[string]int64{"W": width},
+		Accesses: []kir.Access{
+			{Array: "in", ElemSize: 4, Mode: kir.Load, Index: center},
+			{Array: "in", ElemSize: 4, Mode: kir.Load, Index: sym.Sum(center, sym.C(-8))},
+			{Array: "in", ElemSize: 4, Mode: kir.Load, Index: sym.Sum(center, sym.C(8))},
+			{Array: "out", ElemSize: 4, Mode: kir.Store, Index: center},
+		},
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "conv", Suite: "cuda-sdk",
+			Allocs: []kir.AllocSpec{
+				{ID: "in", Bytes: cells * 4, ElemSize: 4},
+				{ID: "out", Bytes: cells * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "RCL", SchedLabel: "Row-sched",
+		PaperInputMB: 120, PaperTBs: 18432, PaperMPKI: 66,
+	})
+}
+
+// histoMain is Parboil histo's main kernel: threadblock columns sweep the
+// image vertically (column-locality, vertically shared) and scatter into
+// a small histogram.
+func histoMain(scale int) *Spec {
+	gx := div(83, scale, 4)
+	gy := div(21, scale, 3)
+	iters := 48
+	w := uint64(gx * 16)
+	h := uint64(iters * 16)
+	width := sym.Prod(sym.GDx, sym.BDx)
+	idx := sym.Sum(sym.Prod(sym.Sum(sym.Prod(sym.M, sym.BDy), sym.Ty), width), colExpr())
+	k := &kir.Kernel{
+		Name: "histo-main", Grid: kir.Dim2(gx, gy), Block: kir.Dim2(16, 16),
+		Iters: iters, ALUPerIter: 12,
+		Accesses: []kir.Access{
+			{Array: "img", ElemSize: 4, Mode: kir.Load, Index: idx},
+			{Array: "hist", ElemSize: 4, Mode: kir.Store, Index: sym.Ind("bin", gid1()), Weight: 1},
+		},
+	}
+	bins := make([]int64, 1<<16)
+	seed := int64(0x9E3779B9)
+	for i := range bins {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		bins[i] = (seed >> 33) & 0xFFFF
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "histo-main", Suite: "parboil",
+			Allocs: []kir.AllocSpec{
+				{ID: "img", Bytes: w * h * 4, ElemSize: 4},
+				{ID: "hist", Bytes: 1 << 18, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+			Tables:   map[string][]int64{"bin": bins},
+		},
+		LocalityLabel: "RCL", SchedLabel: "Col-sched",
+		PaperInputMB: 36, PaperTBs: 1743, PaperMPKI: 201,
+	})
+}
+
+// fwtK2 is the fast Walsh transform's second kernel: threadblock columns
+// walk a wide matrix downwards exchanging butterfly partners —
+// column-locality, vertically shared.
+func fwtK2(scale int) *Spec {
+	gx := div(64, scale, 8)
+	gy := div(64, scale, 8)
+	iters := 64
+	rowWidth := sym.Prod(sym.GDx, sym.BDx)
+	base := sym.Sum(sym.Prod(sym.M, rowWidth), colExpr())
+	partner := sym.Sum(base, sym.Prod(sym.C(32), rowWidth))
+	elems := uint64(gx*256) * uint64(iters+32)
+	k := &kir.Kernel{
+		Name: "fwt-k2", Grid: kir.Dim2(gx, gy), Block: kir.Dim1(256),
+		Iters: iters, ALUPerIter: 6,
+		Accesses: []kir.Access{
+			{Array: "data", ElemSize: 4, Mode: kir.Load, Index: base},
+			{Array: "data", ElemSize: 4, Mode: kir.Load, Index: partner},
+			{Array: "data", ElemSize: 4, Mode: kir.Store, Index: base},
+		},
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "fwt-k2", Suite: "cuda-sdk",
+			Allocs: []kir.AllocSpec{
+				{ID: "data", Bytes: elems * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "RCL", SchedLabel: "Col-sched",
+		PaperInputMB: 64, PaperTBs: 4096, PaperMPKI: 102,
+	})
+}
+
+// transpose is the looped matrix transpose: each threadblock transposes a
+// 16-row strip, streaming tiles across the row.
+func transpose(scale int) *Spec {
+	gy := div(16384, scale, 64)
+	iters := 32
+	w := int64(16 * iters)
+	h := uint64(gy * 16)
+	height := sym.Prod(sym.GDy, sym.BDy)
+	inIdx := sym.Sum(sym.Prod(rowExpr(), sym.P("W")), sym.Prod(sym.M, sym.C(16)), sym.Tx)
+	outIdx := sym.Sum(
+		sym.Prod(sym.Sum(sym.Prod(sym.M, sym.C(16)), sym.Ty), height),
+		sym.Prod(sym.By, sym.BDy), sym.Tx)
+	k := &kir.Kernel{
+		Name: "tra", Grid: kir.Dim2(1, gy), Block: kir.Dim2(16, 16),
+		Iters: iters, ALUPerIter: 2, // pure data movement
+		Params: map[string]int64{"W": w},
+		Accesses: []kir.Access{
+			{Array: "in", ElemSize: 4, Mode: kir.Load, Index: inIdx},
+			{Array: "out", ElemSize: 4, Mode: kir.Store, Index: outIdx},
+		},
+	}
+	cells := uint64(w) * h
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "tra", Suite: "cuda-sdk",
+			Allocs: []kir.AllocSpec{
+				{ID: "in", Bytes: cells * 4, ElemSize: 4},
+				{ID: "out", Bytes: cells * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "RCL", SchedLabel: "Row-sched",
+		PaperInputMB: 32, PaperTBs: 16384, PaperMPKI: 291,
+	})
+}

@@ -1,0 +1,415 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"ladm/internal/kir"
+	sym "ladm/internal/symbolic"
+)
+
+func init() {
+	register("pagerank", pageRank)
+	register("bfs-relax", bfsRelax)
+	register("sssp", sssp)
+	register("random-loc", randomLoc)
+	register("kmeans-notex", kmeans)
+	register("spmv-jds", spmvJDS)
+	register("b+tree", bTree)
+	register("lbm", lbm)
+	register("streamcluster", streamCluster)
+}
+
+// graphDiv scales thread counts of the irregular workloads linearly. The
+// data footprints must stay large relative to the fixed 16 MB of L2 or the
+// ITL/unclassified results lose their shape, so these workloads do not
+// shrink quadratically the way dense linear algebra can.
+func graphDiv(x, scale, min int) int {
+	return div(x, scale, min)
+}
+
+// tbMaxIters computes, per threadblock of `block` threads, the largest
+// per-thread trip count (degree) in the block, so the engine stops a block
+// once every thread's predicate is exhausted.
+func tbMaxIters(deg []int64, block int) func(tb int) int {
+	n := len(deg)
+	tbs := (n + block - 1) / block
+	maxes := make([]int, tbs)
+	for tb := 0; tb < tbs; tb++ {
+		hi := (tb + 1) * block
+		if hi > n {
+			hi = n
+		}
+		m := 1
+		for _, d := range deg[tb*block : hi] {
+			if int(d) > m {
+				m = int(d)
+			}
+		}
+		maxes[tb] = m
+	}
+	return func(tb int) int {
+		if tb < 0 || tb >= len(maxes) {
+			return 1
+		}
+		return maxes[tb]
+	}
+}
+
+// csr generates a synthetic power-law-ish CSR graph: rowptr/degree tables
+// for v vertices with degrees in [1, maxDeg] averaging ~avgDeg, and edge
+// targets drawn uniformly. Seeded: identical across runs.
+func csr(v, avgDeg, maxDeg int, seed int64) (rowptr, deg, colval []int64, edges int64) {
+	r := rand.New(rand.NewSource(seed))
+	rowptr = make([]int64, v)
+	deg = make([]int64, v)
+	var e int64
+	for i := 0; i < v; i++ {
+		// Squaring a uniform sample skews low: a crude power law.
+		f := r.Float64()
+		d := int64(1 + f*f*float64(2*avgDeg))
+		if d > int64(maxDeg) {
+			d = int64(maxDeg)
+		}
+		rowptr[i] = e
+		deg[i] = d
+		e += d
+	}
+	colval = make([]int64, e)
+	for i := range colval {
+		// Cube a uniform sample: edge targets skew toward low vertex ids,
+		// giving the hub reuse of scale-free graphs (hot vertices are what
+		// requester-side L2 caching exploits).
+		f := r.Float64()
+		colval[i] = int64(f * f * f * float64(v))
+	}
+	return rowptr, deg, colval, e
+}
+
+// edgeWalk builds the canonical CSR neighbour-walk accesses shared by the
+// graph workloads: cols[rowptr[v] + m] (intra-thread locality) and a
+// data-dependent gather val[cols[...]] (unclassified), both predicated on
+// m < degree(v).
+func edgeWalk(colsArray, gatherArray string, weight int) []kir.Access {
+	v := gid1()
+	edge := sym.Sum(sym.Ind("rowptr", v), sym.M)
+	pred := sym.Sum(sym.Ind("deg", v), sym.Neg{X: sym.M})
+	return []kir.Access{
+		{Array: colsArray, ElemSize: 4, Mode: kir.Load, Index: edge, Pred: pred, Weight: weight},
+		{Array: gatherArray, ElemSize: 4, Mode: kir.Load,
+			Index: sym.Ind("colval", edge), Pred: pred, Weight: weight},
+	}
+}
+
+func graphWorkload(name, suite string, v, avgDeg, maxDeg, block int, seed int64,
+	extra func(edges int64) ([]kir.AllocSpec, []kir.Access)) *kir.Workload {
+	rowptr, deg, colval, edges := csr(v, avgDeg, maxDeg, seed)
+	accs := []kir.Access{
+		{Array: "rowptr", ElemSize: 4, Mode: kir.Load, Index: gid1(), Phase: kir.PreLoop},
+	}
+	accs = append(accs, edgeWalk("cols", "val", avgDeg)...)
+	allocs := []kir.AllocSpec{
+		{ID: "rowptr", Bytes: uint64(v+1) * 4, ElemSize: 4},
+		{ID: "cols", Bytes: uint64(edges) * 4, ElemSize: 4},
+		{ID: "val", Bytes: uint64(v) * 4, ElemSize: 4},
+	}
+	if extra != nil {
+		a, ac := extra(edges)
+		allocs = append(allocs, a...)
+		accs = append(accs, ac...)
+	}
+	k := &kir.Kernel{
+		Name: name, Grid: kir.Dim1((v + block - 1) / block), Block: kir.Dim1(block),
+		Iters: maxDeg, ALUPerIter: 6,
+		ItersForTB: tbMaxIters(deg, block),
+		Accesses:   accs,
+	}
+	return &kir.Workload{
+		Name: name, Suite: suite,
+		Allocs:   allocs,
+		Launches: []kir.Launch{{Kernel: k}},
+		Tables: map[string][]int64{
+			"rowptr": rowptr, "deg": deg, "colval": colval,
+		},
+	}
+}
+
+// pageRank is Pannotia's PageRank: per-vertex neighbour walks over CSR.
+func pageRank(scale int) *Spec {
+	v := graphDiv(23365*128, scale, 4096)
+	w := graphWorkload("pagerank", "pannotia", v, 8, 64, 128, 11, func(int64) ([]kir.AllocSpec, []kir.Access) {
+		return []kir.AllocSpec{{ID: "outrank", Bytes: uint64(v) * 4, ElemSize: 4}},
+			[]kir.Access{{Array: "outrank", ElemSize: 4, Mode: kir.Store,
+				Index: gid1(), Phase: kir.PostLoop}}
+	})
+	return mustValid(&Spec{
+		W:             w,
+		LocalityLabel: "ITL", SchedLabel: "Kernel-wide",
+		PaperInputMB: 18, PaperTBs: 23365, PaperMPKI: 85,
+	})
+}
+
+// bfsRelax is Lonestar's BFS relaxation step over a larger graph.
+func bfsRelax(scale int) *Spec {
+	v := graphDiv(512<<10, scale, 4096)
+	w := graphWorkload("bfs-relax", "lonestar", v, 16, 64, 256, 12, func(edges int64) ([]kir.AllocSpec, []kir.Access) {
+		return []kir.AllocSpec{{ID: "dist", Bytes: uint64(v) * 4, ElemSize: 4}},
+			[]kir.Access{{Array: "dist", ElemSize: 4, Mode: kir.Store,
+				Index: gid1(), Phase: kir.PostLoop}}
+	})
+	return mustValid(&Spec{
+		W:             w,
+		LocalityLabel: "ITL", SchedLabel: "Kernel-wide",
+		PaperInputMB: 220, PaperTBs: 2048, PaperMPKI: 508,
+	})
+}
+
+// sssp is Pannotia's single-source shortest paths: the walk also streams
+// per-edge weights.
+func sssp(scale int) *Spec {
+	v := graphDiv(264384, scale, 4096)
+	wl := graphWorkload("sssp", "pannotia", v, 12, 32, 64, 13, func(edges int64) ([]kir.AllocSpec, []kir.Access) {
+		vtx := gid1()
+		edge := sym.Sum(sym.Ind("rowptr", vtx), sym.M)
+		pred := sym.Sum(sym.Ind("deg", vtx), sym.Neg{X: sym.M})
+		return []kir.AllocSpec{{ID: "weights", Bytes: uint64(edges) * 4, ElemSize: 4}},
+			[]kir.Access{{Array: "weights", ElemSize: 4, Mode: kir.Load,
+				Index: edge, Pred: pred, Weight: 12}}
+	})
+	return mustValid(&Spec{
+		W:             wl,
+		LocalityLabel: "ITL", SchedLabel: "Kernel-wide",
+		PaperInputMB: 57, PaperTBs: 4131, PaperMPKI: 585,
+	})
+}
+
+// randomLoc is the synthetic random-locality microbenchmark of Young et
+// al.: every thread walks a short run at a random location — maximal
+// NUMA hostility with per-thread spatial locality only.
+func randomLoc(scale int) *Spec {
+	tbs := graphDiv(41013, scale, 64)
+	block, iters := 256, 8
+	threads := tbs * block
+	// The footprint stays at the paper's 64 MB regardless of scale: the
+	// workload's whole point is to dwarf the 16 MB of aggregate L2.
+	elems := int64(16 << 20)
+	r := rand.New(rand.NewSource(14))
+	// Locations are warp coherent: a warp's 32 threads cover one random
+	// 1 KB block (8 cache lines), each thread walking one 32 B sector.
+	// Re-touches across the walk are L2-servable exactly when the home
+	// slices are not polluted by remote-origin one-touch fills — the
+	// contention effect Figure 11 of the paper isolates.
+	loc := make([]int64, threads)
+	blocks := int(elems / 256)
+	for w := 0; w < threads/32; w++ {
+		base := int64(r.Intn(blocks)) * 256
+		for l := 0; l < 32; l++ {
+			loc[w*32+l] = base + int64(l)*8
+		}
+	}
+	k := &kir.Kernel{
+		Name: "random-loc", Grid: kir.Dim1(tbs), Block: kir.Dim1(block),
+		Iters: iters, ALUPerIter: 2,
+		Accesses: []kir.Access{
+			{Array: "data", ElemSize: 4, Mode: kir.Load,
+				Index: sym.Sum(sym.Ind("loc", gid1()), sym.M)},
+		},
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "random-loc", Suite: "synthetic",
+			Allocs:   []kir.AllocSpec{{ID: "data", Bytes: uint64(elems) * 4, ElemSize: 4}},
+			Launches: []kir.Launch{{Kernel: k}},
+			Tables:   map[string][]int64{"loc": loc},
+		},
+		LocalityLabel: "ITL", SchedLabel: "Kernel-wide",
+		PaperInputMB: 64, PaperTBs: 41013, PaperMPKI: 4128,
+	})
+}
+
+// kmeans is Rodinia's kmeans without texture memory: each thread streams
+// its point's features (row-major per point: pure ITL).
+func kmeans(scale int) *Spec {
+	tbs := graphDiv(1936, scale, 16)
+	block, nf := 256, 32
+	points := tbs * block
+	k := &kir.Kernel{
+		Name: "kmeans-notex", Grid: kir.Dim1(tbs), Block: kir.Dim1(block),
+		Iters: nf, ALUPerIter: 8,
+		Params: map[string]int64{"NF": int64(nf)},
+		Accesses: []kir.Access{
+			{Array: "features", ElemSize: 4, Mode: kir.Load,
+				Index: sym.Sum(sym.Prod(gid1(), sym.P("NF")), sym.M)},
+			{Array: "centroids", ElemSize: 4, Mode: kir.Load, Index: sym.M},
+			{Array: "membership", ElemSize: 4, Mode: kir.Store,
+				Index: gid1(), Phase: kir.PostLoop},
+		},
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "kmeans-notex", Suite: "rodinia",
+			Allocs: []kir.AllocSpec{
+				{ID: "features", Bytes: uint64(points*nf) * 4, ElemSize: 4},
+				{ID: "centroids", Bytes: uint64(nf*16) * 4, ElemSize: 4},
+				{ID: "membership", Bytes: uint64(points) * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "ITL", SchedLabel: "Kernel-wide",
+		PaperInputMB: 60, PaperTBs: 1936, PaperMPKI: 158,
+	})
+}
+
+// spmvJDS is Parboil's jagged-diagonal sparse matrix-vector multiply.
+func spmvJDS(scale int) *Spec {
+	v := graphDiv(146720, scale, 2048)
+	wl := graphWorkload("spmv-jds", "parboil", v, 24, 48, 32, 15, func(edges int64) ([]kir.AllocSpec, []kir.Access) {
+		vtx := gid1()
+		edge := sym.Sum(sym.Ind("rowptr", vtx), sym.M)
+		pred := sym.Sum(sym.Ind("deg", vtx), sym.Neg{X: sym.M})
+		return []kir.AllocSpec{{ID: "nz", Bytes: uint64(edges) * 4, ElemSize: 4}},
+			[]kir.Access{{Array: "nz", ElemSize: 4, Mode: kir.Load,
+				Index: edge, Pred: pred, Weight: 24}}
+	})
+	return mustValid(&Spec{
+		W:             wl,
+		LocalityLabel: "ITL", SchedLabel: "Kernel-wide",
+		PaperInputMB: 30, PaperTBs: 4585, PaperMPKI: 640,
+	})
+}
+
+// bTree is Rodinia's b+tree lookup: each query descends a random path, so
+// the index is data dependent at every level — unclassifiable.
+func bTree(scale int) *Spec {
+	tbs := graphDiv(6000, scale, 32)
+	block, levels := 256, 8
+	queries := tbs * block
+	nodes := int64(4 << 20 / scale)
+	r := rand.New(rand.NewSource(16))
+	walk := make([]int64, queries*levels)
+	for q := 0; q < queries; q++ {
+		span := nodes
+		pos := int64(0)
+		for l := 0; l < levels; l++ {
+			walk[q*levels+l] = pos
+			span /= 16
+			if span < 1 {
+				span = 1
+			}
+			pos += 1 + r.Int63n(span*15+1)
+			if pos >= nodes {
+				pos = nodes - 1
+			}
+		}
+	}
+	k := &kir.Kernel{
+		Name: "b+tree", Grid: kir.Dim1(tbs), Block: kir.Dim1(block),
+		Iters: levels, ALUPerIter: 10,
+		Params: map[string]int64{"L": int64(levels)},
+		Accesses: []kir.Access{
+			{Array: "tree", ElemSize: 4, Mode: kir.Load,
+				Index: sym.Ind("walk", sym.Sum(sym.Prod(gid1(), sym.P("L")), sym.M))},
+			{Array: "keys", ElemSize: 4, Mode: kir.Load, Index: gid1(), Phase: kir.PreLoop},
+		},
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "b+tree", Suite: "rodinia",
+			Allocs: []kir.AllocSpec{
+				{ID: "tree", Bytes: uint64(nodes) * 4, ElemSize: 4},
+				{ID: "keys", Bytes: uint64(queries) * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+			Tables:   map[string][]int64{"walk": walk},
+		},
+		LocalityLabel: "unclassified", SchedLabel: "Kernel-wide",
+		PaperInputMB: 16, PaperTBs: 6000, PaperMPKI: 112,
+	})
+}
+
+// lbm is Parboil's lattice-Boltzmann method: structure-of-arrays with
+// modulo-wrapped neighbour offsets per direction — complex indices the
+// analysis leaves unclassified.
+func lbm(scale int) *Spec {
+	tbs := graphDiv(18000, scale, 64)
+	block, dirs := 120, 19
+	cells := int64(tbs * block)
+	off := make([]int64, dirs)
+	r := rand.New(rand.NewSource(17))
+	for i := range off {
+		off[i] = int64(r.Intn(2048) - 1024)
+	}
+	// Array-of-structures lattice: cell-major with the 19 direction values
+	// adjacent, neighbour cells found through modulo-wrapped offsets.
+	wrap := func(table string) sym.Expr {
+		return sym.Sum(
+			sym.Prod(sym.Rem(sym.Sum(gid1(), sym.Ind(table, sym.M), sym.P("CELLS")), sym.P("CELLS")),
+				sym.C(19)),
+			sym.M)
+	}
+	k := &kir.Kernel{
+		Name: "lbm", Grid: kir.Dim1(tbs), Block: kir.Dim1(block),
+		Iters: dirs, ALUPerIter: 12,
+		Params: map[string]int64{"CELLS": cells},
+		Accesses: []kir.Access{
+			{Array: "src", ElemSize: 4, Mode: kir.Load, Index: wrap("off")},
+			{Array: "dst", ElemSize: 4, Mode: kir.Store, Index: wrap("off2")},
+		},
+	}
+	off2 := make([]int64, dirs)
+	for i := range off2 {
+		off2[i] = -off[i]
+	}
+	bytes := uint64(cells) * uint64(dirs) * 4
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "lbm", Suite: "parboil",
+			Allocs: []kir.AllocSpec{
+				{ID: "src", Bytes: bytes, ElemSize: 4},
+				{ID: "dst", Bytes: bytes, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+			Tables:   map[string][]int64{"off": off, "off2": off2},
+		},
+		LocalityLabel: "unclassified", SchedLabel: "Kernel-wide",
+		PaperInputMB: 370, PaperTBs: 18000, PaperMPKI: 784,
+	})
+}
+
+// streamCluster is Parboil's streaming clustering: points are gathered by
+// data-dependent assignment in column-major feature order.
+func streamCluster(scale int) *Spec {
+	tbs := graphDiv(1024, scale, 16)
+	block, dims := 512, 28
+	points := int64(tbs * block)
+	elems := points * int64(dims)
+	r := rand.New(rand.NewSource(18))
+	// Per-iteration data-dependent center gathers: every access lands on a
+	// different assigned point's feature, so no static pattern exists.
+	assign := make([]int64, elems)
+	for i := range assign {
+		assign[i] = int64(r.Int63n(elems))
+	}
+	idx := sym.Ind("assign", sym.Sum(sym.Prod(gid1(), sym.C(int64(dims))), sym.M))
+	k := &kir.Kernel{
+		Name: "streamcluster", Grid: kir.Dim1(tbs), Block: kir.Dim1(block),
+		Iters: dims, ALUPerIter: 8,
+		Params: map[string]int64{"NUM": points},
+		Accesses: []kir.Access{
+			{Array: "pts", ElemSize: 4, Mode: kir.Load, Index: idx},
+			{Array: "cost", ElemSize: 4, Mode: kir.Store, Index: gid1(), Phase: kir.PostLoop},
+		},
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "streamcluster", Suite: "parboil",
+			Allocs: []kir.AllocSpec{
+				{ID: "pts", Bytes: uint64(points) * uint64(dims) * 4, ElemSize: 4},
+				{ID: "cost", Bytes: uint64(points) * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+			Tables:   map[string][]int64{"assign": assign},
+		},
+		LocalityLabel: "unclassified", SchedLabel: "Kernel-wide",
+		PaperInputMB: 56, PaperTBs: 1024, PaperMPKI: 89,
+	})
+}

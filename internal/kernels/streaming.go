@@ -1,0 +1,285 @@
+package kernels
+
+import (
+	"ladm/internal/kir"
+	sym "ladm/internal/symbolic"
+)
+
+func init() {
+	register("vecadd", vecAdd)
+	register("srad", srad)
+	register("hs", hotspot)
+	register("scalarprod", scalarProd)
+	register("blk", blackScholes)
+	register("histo-final", histoFinal)
+	register("reduction-k6", reductionK6)
+	register("hotspot3d", hotspot3D)
+}
+
+// vecAdd is the CUDA SDK vector addition: C[i] = A[i] + B[i]. Pure
+// no-locality streaming — every threadblock owns one contiguous
+// datablock (Table IV row 1).
+func vecAdd(scale int) *Spec {
+	tbs := div(10240, scale, 16)
+	block := 128
+	n := uint64(tbs * block)
+	gid := gid1()
+	k := &kir.Kernel{
+		Name: "vecadd", Grid: kir.Dim1(tbs), Block: kir.Dim1(block),
+		Iters: 1, ALUPerIter: 4,
+		Accesses: []kir.Access{
+			{Array: "A", ElemSize: 4, Mode: kir.Load, Index: gid},
+			{Array: "B", ElemSize: 4, Mode: kir.Load, Index: gid},
+			{Array: "C", ElemSize: 4, Mode: kir.Store, Index: gid},
+		},
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "vecadd", Suite: "cuda-sdk",
+			Allocs: []kir.AllocSpec{
+				{ID: "A", Bytes: n * 4, ElemSize: 4},
+				{ID: "B", Bytes: n * 4, ElemSize: 4},
+				{ID: "C", Bytes: n * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "NL", SchedLabel: "Align-aware",
+		PaperInputMB: 60, PaperTBs: 10240, PaperMPKI: 570,
+	})
+}
+
+// stencil2D builds a 5-point 2D stencil kernel over W x H = grid*block
+// cells: the SRAD/Hotspot access shape. loads name the input arrays
+// touched at the center; the first also contributes the four neighbours.
+func stencil2D(name string, gx, gy int, loads, stores []string) *kir.Kernel {
+	width := sym.Prod(sym.GDx, sym.BDx)
+	idx := sym.Sum(sym.Prod(rowExpr(), width), colExpr())
+	var acc []kir.Access
+	first := true
+	for _, a := range loads {
+		acc = append(acc, kir.Access{Array: a, ElemSize: 4, Mode: kir.Load, Index: idx})
+		if first {
+			first = false
+			for _, off := range []sym.Expr{sym.C(-1), sym.C(1), sym.Neg{X: width}, width} {
+				acc = append(acc, kir.Access{
+					Array: a, ElemSize: 4, Mode: kir.Load,
+					Index: sym.Sum(idx, off),
+				})
+			}
+		}
+	}
+	for _, a := range stores {
+		acc = append(acc, kir.Access{Array: a, ElemSize: 4, Mode: kir.Store, Index: idx})
+	}
+	return &kir.Kernel{
+		Name: name, Grid: kir.Dim2(gx, gy), Block: kir.Dim2(16, 16),
+		Iters: 1, ALUPerIter: 16,
+		Accesses: acc,
+	}
+}
+
+// srad is the Rodinia speckle-reducing anisotropic diffusion stencil: six
+// W x H float arrays, adjacent-locality sharing at tile edges.
+func srad(scale int) *Spec {
+	gx, gy := div(128, scale, 4), div(128, scale, 4)
+	cells := uint64(gx*16) * uint64(gy*16)
+	k := stencil2D("srad", gx, gy, []string{"J", "c"}, []string{"dN", "dS", "dW", "dE"})
+	allocs := make([]kir.AllocSpec, 0, 6)
+	for _, id := range []string{"J", "c", "dN", "dS", "dW", "dE"} {
+		allocs = append(allocs, kir.AllocSpec{ID: id, Bytes: cells * 4, ElemSize: 4})
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "srad", Suite: "rodinia",
+			Allocs:   allocs,
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "NL", SchedLabel: "Align-aware",
+		PaperInputMB: 96, PaperTBs: 16384, PaperMPKI: 290,
+	})
+}
+
+// hotspot is Rodinia's 2D thermal stencil.
+func hotspot(scale int) *Spec {
+	gx, gy := div(86, scale, 4), div(86, scale, 4)
+	cells := uint64(gx*16) * uint64(gy*16)
+	k := stencil2D("hs", gx, gy, []string{"temp", "power"}, []string{"out"})
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "hs", Suite: "rodinia",
+			Allocs: []kir.AllocSpec{
+				{ID: "temp", Bytes: cells * 4, ElemSize: 4},
+				{ID: "power", Bytes: cells * 4, ElemSize: 4},
+				{ID: "out", Bytes: cells * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "NL", SchedLabel: "Align-aware",
+		PaperInputMB: 16, PaperTBs: 7396, PaperMPKI: 58,
+	})
+}
+
+// gridStride builds the canonical grid-stride loop index: gid +
+// m*blockDim.x*gridDim.x — the Threadblock-stride pattern (NL-Xstride).
+func gridStride() sym.Expr {
+	return sym.Sum(gid1(), sym.Prod(sym.M, sym.BDx, sym.GDx))
+}
+
+// scalarProd is the CUDA SDK scalar product: two long vectors scanned with
+// a grid-stride loop.
+func scalarProd(scale int) *Spec {
+	tbs := div(2048, scale, 16)
+	block, iters := 256, 28
+	n := uint64(tbs * block * iters)
+	idx := gridStride()
+	k := &kir.Kernel{
+		Name: "scalarprod", Grid: kir.Dim1(tbs), Block: kir.Dim1(block),
+		Iters: iters, ALUPerIter: 6,
+		Accesses: []kir.Access{
+			{Array: "A", ElemSize: 4, Mode: kir.Load, Index: idx},
+			{Array: "B", ElemSize: 4, Mode: kir.Load, Index: idx},
+			{Array: "out", ElemSize: 4, Mode: kir.Store, Index: sym.Bx, Phase: kir.PostLoop},
+		},
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "scalarprod", Suite: "cuda-sdk",
+			Allocs: []kir.AllocSpec{
+				{ID: "A", Bytes: n * 4, ElemSize: 4},
+				{ID: "B", Bytes: n * 4, ElemSize: 4},
+				{ID: "out", Bytes: uint64(tbs) * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "NL-Xstride", SchedLabel: "Align-aware",
+		PaperInputMB: 120, PaperTBs: 2048, PaperMPKI: 329,
+	})
+}
+
+// blackScholes is the CUDA SDK option pricer: three strided input streams,
+// two strided output streams.
+func blackScholes(scale int) *Spec {
+	tbs := div(1920, scale, 16)
+	block, iters := 128, 17
+	n := uint64(tbs * block * iters)
+	idx := gridStride()
+	k := &kir.Kernel{
+		Name: "blk", Grid: kir.Dim1(tbs), Block: kir.Dim1(block),
+		Iters: iters, ALUPerIter: 40, // transcendental-heavy
+		Accesses: []kir.Access{
+			{Array: "S", ElemSize: 4, Mode: kir.Load, Index: idx},
+			{Array: "X", ElemSize: 4, Mode: kir.Load, Index: idx},
+			{Array: "T", ElemSize: 4, Mode: kir.Load, Index: idx},
+			{Array: "call", ElemSize: 4, Mode: kir.Store, Index: idx},
+			{Array: "put", ElemSize: 4, Mode: kir.Store, Index: idx},
+		},
+	}
+	allocs := make([]kir.AllocSpec, 0, 5)
+	for _, id := range []string{"S", "X", "T", "call", "put"} {
+		allocs = append(allocs, kir.AllocSpec{ID: id, Bytes: n * 4, ElemSize: 4})
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "blk", Suite: "cuda-sdk",
+			Allocs:   allocs,
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "NL-Xstride", SchedLabel: "Align-aware",
+		PaperInputMB: 80, PaperTBs: 1920, PaperMPKI: 291,
+	})
+}
+
+// histoFinal is Parboil histo's final merge kernel: grid-stride scan of
+// partial histograms plus a private output store.
+func histoFinal(scale int) *Spec {
+	tbs := div(1530, scale, 16)
+	block, iters := 512, 10
+	n := uint64(tbs * block * iters)
+	k := &kir.Kernel{
+		Name: "histo-final", Grid: kir.Dim1(tbs), Block: kir.Dim1(block),
+		Iters: iters, ALUPerIter: 8,
+		Accesses: []kir.Access{
+			{Array: "partial", ElemSize: 4, Mode: kir.Load, Index: gridStride()},
+			{Array: "final", ElemSize: 4, Mode: kir.Store, Index: gid1(), Phase: kir.PostLoop},
+		},
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "histo-final", Suite: "parboil",
+			Allocs: []kir.AllocSpec{
+				{ID: "partial", Bytes: n * 4, ElemSize: 4},
+				{ID: "final", Bytes: uint64(tbs*block) * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "NL-Xstride", SchedLabel: "Align-aware",
+		PaperInputMB: 36, PaperTBs: 1530, PaperMPKI: 268,
+	})
+}
+
+// reductionK6 is the CUDA SDK reduction kernel 6: grid-stride accumulate,
+// one output per block.
+func reductionK6(scale int) *Spec {
+	tbs := div(2048, scale, 16)
+	block, iters := 256, 16
+	n := uint64(tbs * block * iters)
+	k := &kir.Kernel{
+		Name: "reduction-k6", Grid: kir.Dim1(tbs), Block: kir.Dim1(block),
+		Iters: iters, ALUPerIter: 3, // pure bandwidth
+		Accesses: []kir.Access{
+			{Array: "in", ElemSize: 4, Mode: kir.Load, Index: gridStride()},
+			{Array: "out", ElemSize: 4, Mode: kir.Store, Index: sym.Bx, Phase: kir.PostLoop},
+		},
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "reduction-k6", Suite: "cuda-sdk",
+			Allocs: []kir.AllocSpec{
+				{ID: "in", Bytes: n * 4, ElemSize: 4},
+				{ID: "out", Bytes: uint64(tbs) * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "NL-Xstride", SchedLabel: "Align-aware",
+		PaperInputMB: 32, PaperTBs: 2048, PaperMPKI: 1056,
+	})
+}
+
+// hotspot3D is Rodinia's 3D thermal stencil: 2D threadblock tiles march
+// through Z planes — a Y-direction (whole-plane) threadblock stride.
+func hotspot3D(scale int) *Spec {
+	gx, gy := div(8, scale, 2), div(128, scale, 4)
+	zPlanes := 64
+	w := sym.Prod(sym.GDx, sym.BDx)        // X extent
+	plane := sym.Prod(w, sym.GDy, sym.BDy) // X*Y extent
+	center := sym.Sum(sym.Prod(rowExpr(), w), colExpr(), sym.Prod(sym.M, plane))
+	cells := uint64(gx*64) * uint64(gy*4) * uint64(zPlanes)
+	var acc []kir.Access
+	for _, off := range []sym.Expr{sym.C(0), sym.C(-1), sym.C(1), sym.Neg{X: w}, w} {
+		acc = append(acc, kir.Access{
+			Array: "tIn", ElemSize: 4, Mode: kir.Load, Index: sym.Sum(center, off),
+		})
+	}
+	acc = append(acc,
+		kir.Access{Array: "power", ElemSize: 4, Mode: kir.Load, Index: center},
+		kir.Access{Array: "tOut", ElemSize: 4, Mode: kir.Store, Index: center},
+	)
+	k := &kir.Kernel{
+		Name: "hotspot3d", Grid: kir.Dim2(gx, gy), Block: kir.Dim2(64, 4),
+		Iters: zPlanes, ALUPerIter: 20,
+		Accesses: acc,
+	}
+	return mustValid(&Spec{
+		W: &kir.Workload{
+			Name: "hotspot3d", Suite: "rodinia",
+			Allocs: []kir.AllocSpec{
+				{ID: "tIn", Bytes: cells * 4, ElemSize: 4},
+				{ID: "power", Bytes: cells * 4, ElemSize: 4},
+				{ID: "tOut", Bytes: cells * 4, ElemSize: 4},
+			},
+			Launches: []kir.Launch{{Kernel: k}},
+		},
+		LocalityLabel: "NL-Ystride", SchedLabel: "Align-aware",
+		PaperInputMB: 128, PaperTBs: 1024, PaperMPKI: 87,
+	})
+}

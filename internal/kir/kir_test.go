@@ -1,0 +1,230 @@
+package kir
+
+import (
+	"testing"
+
+	sym "ladm/internal/symbolic"
+)
+
+// vecAddKernel builds a minimal valid kernel for reuse across tests.
+func vecAddKernel() *Kernel {
+	gid := sym.Sum(sym.Prod(sym.Bx, sym.BDx), sym.Tx)
+	return &Kernel{
+		Name:  "vecadd",
+		Grid:  Dim1(64),
+		Block: Dim1(128),
+		Iters: 1,
+		Accesses: []Access{
+			{Array: "A", Index: gid, ElemSize: 4, Mode: Load},
+			{Array: "B", Index: gid, ElemSize: 4, Mode: Load},
+			{Array: "C", Index: gid, ElemSize: 4, Mode: Store},
+		},
+	}
+}
+
+func vecAddWorkload() *Workload {
+	return &Workload{
+		Name:  "vecadd",
+		Suite: "test",
+		Allocs: []AllocSpec{
+			{ID: "A", Bytes: 64 * 128 * 4, ElemSize: 4},
+			{ID: "B", Bytes: 64 * 128 * 4, ElemSize: 4},
+			{ID: "C", Bytes: 64 * 128 * 4, ElemSize: 4},
+		},
+		Launches: []Launch{{Kernel: vecAddKernel()}},
+	}
+}
+
+func TestDim3(t *testing.T) {
+	if got := Dim2(16, 8).Count(); got != 128 {
+		t.Errorf("Dim2 count = %d", got)
+	}
+	if got := Dim1(256).Count(); got != 256 {
+		t.Errorf("Dim1 count = %d", got)
+	}
+	if got := (Dim3{X: 2, Y: 0, Z: 0}).Count(); got != 2 {
+		t.Errorf("degenerate dims should clamp, got %d", got)
+	}
+	if got := Dim2(16, 8).String(); got != "(16,8)" {
+		t.Errorf("Dim3.String = %q", got)
+	}
+	if got := (Dim3{X: 2, Y: 3, Z: 4}).String(); got != "(2,3,4)" {
+		t.Errorf("3D String = %q", got)
+	}
+}
+
+func TestKernelBasics(t *testing.T) {
+	k := vecAddKernel()
+	if err := k.Validate(); err != nil {
+		t.Fatalf("valid kernel rejected: %v", err)
+	}
+	if k.Is2D() {
+		t.Error("1D kernel reported as 2D")
+	}
+	if got := k.WarpsPerTB(32); got != 4 {
+		t.Errorf("WarpsPerTB = %d, want 4", got)
+	}
+	if got := k.EffIters(); got != 1 {
+		t.Errorf("EffIters = %d", got)
+	}
+	k.Iters = 0
+	if got := k.EffIters(); got != 1 {
+		t.Errorf("EffIters default = %d", got)
+	}
+	env := k.BaseEnv()
+	if env.BDim[0] != 128 || env.GDim[0] != 64 {
+		t.Errorf("BaseEnv dims wrong: %+v", env)
+	}
+}
+
+func TestWarpsPerTBRoundsUp(t *testing.T) {
+	k := &Kernel{Block: Dim1(33)}
+	if got := k.WarpsPerTB(32); got != 2 {
+		t.Errorf("WarpsPerTB(33 threads) = %d, want 2", got)
+	}
+	k = &Kernel{Block: Dim1(1)}
+	if got := k.WarpsPerTB(32); got != 1 {
+		t.Errorf("WarpsPerTB(1 thread) = %d, want 1", got)
+	}
+}
+
+func TestSubstitutedIndex(t *testing.T) {
+	k := vecAddKernel()
+	k.Lets = map[string]sym.Expr{"W": sym.Prod(sym.GDx, sym.BDx)}
+	k.Accesses[0].Index = sym.Sum(sym.Prod(sym.By, sym.P("W")), sym.Tx)
+	idx := k.SubstitutedIndex(0)
+	_, params := sym.Vars(idx)
+	if len(params) != 0 {
+		t.Errorf("Lets not substituted: %v", params)
+	}
+	if k.SubstitutedPred(0) != nil {
+		t.Error("nil predicate should stay nil")
+	}
+	k.Accesses[0].Pred = sym.Sum(sym.P("W"), sym.Neg{X: sym.Tx})
+	if k.SubstitutedPred(0) == nil {
+		t.Error("predicate lost")
+	}
+}
+
+func TestKernelValidateErrors(t *testing.T) {
+	cases := map[string]func(k *Kernel){
+		"no name":      func(k *Kernel) { k.Name = "" },
+		"empty grid":   func(k *Kernel) { k.Grid = Dim3{} },
+		"huge block":   func(k *Kernel) { k.Block = Dim2(64, 64) },
+		"no accesses":  func(k *Kernel) { k.Accesses = nil },
+		"no array":     func(k *Kernel) { k.Accesses[0].Array = "" },
+		"no index":     func(k *Kernel) { k.Accesses[0].Index = nil },
+		"bad elemsize": func(k *Kernel) { k.Accesses[0].ElemSize = 0 },
+	}
+	for name, mutate := range cases {
+		k := vecAddKernel()
+		mutate(k)
+		if err := k.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := vecAddWorkload()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	if got := w.TotalBytes(); got != 3*64*128*4 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	if got := w.TotalTBs(); got != 64 {
+		t.Errorf("TotalTBs = %d", got)
+	}
+	if w.Alloc("B") == nil || w.Alloc("nope") != nil {
+		t.Error("Alloc lookup broken")
+	}
+}
+
+func TestWorkloadValidateErrors(t *testing.T) {
+	cases := map[string]func(w *Workload){
+		"no name":        func(w *Workload) { w.Name = "" },
+		"no launches":    func(w *Workload) { w.Launches = nil },
+		"zero byte":      func(w *Workload) { w.Allocs[0].Bytes = 0 },
+		"dup alloc":      func(w *Workload) { w.Allocs = append(w.Allocs, AllocSpec{ID: "A", Bytes: 4, ElemSize: 4}) },
+		"missing alloc":  func(w *Workload) { w.Allocs = w.Allocs[:2] },
+		"elem mismatch":  func(w *Workload) { w.Allocs[0].ElemSize = 8 },
+		"invalid kernel": func(w *Workload) { w.Launches[0].Kernel.Name = "" },
+	}
+	for name, mutate := range cases {
+		w := vecAddWorkload()
+		mutate(w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestLaunchTimes(t *testing.T) {
+	l := Launch{Kernel: vecAddKernel()}
+	if l.EffTimes() != 1 {
+		t.Error("default Times should be 1")
+	}
+	l.Times = 5
+	if l.EffTimes() != 5 {
+		t.Error("explicit Times lost")
+	}
+	w := vecAddWorkload()
+	w.Launches[0].Times = 3
+	if got := w.TotalTBs(); got != 3*64 {
+		t.Errorf("TotalTBs with repeats = %d", got)
+	}
+}
+
+func TestResolver(t *testing.T) {
+	w := vecAddWorkload()
+	w.Tables = map[string][]int64{"deg": {5, 7, 9}}
+	r := w.Resolver()
+	if got := r("deg", 1); got != 7 {
+		t.Errorf("resolver mid = %d", got)
+	}
+	if got := r("deg", -4); got != 5 {
+		t.Errorf("resolver clamps low = %d", got)
+	}
+	if got := r("deg", 99); got != 9 {
+		t.Errorf("resolver clamps high = %d", got)
+	}
+	if got := r("absent", 0); got != 0 {
+		t.Errorf("missing table = %d, want 0", got)
+	}
+}
+
+func TestAccessDefaults(t *testing.T) {
+	a := Access{}
+	if a.EffWeight() != 1 {
+		t.Error("default weight should be 1")
+	}
+	a.Weight = 4
+	if a.EffWeight() != 4 {
+		t.Error("explicit weight lost")
+	}
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Error("AccessMode strings")
+	}
+	if InLoop.String() != "loop" || PreLoop.String() != "pre" || PostLoop.String() != "post" {
+		t.Error("Phase strings")
+	}
+}
+
+func TestEffItersFor(t *testing.T) {
+	k := vecAddKernel()
+	k.Iters = 10
+	if got := k.EffItersFor(5); got != 10 {
+		t.Errorf("no ItersForTB: %d", got)
+	}
+	k.ItersForTB = func(tb int) int { return tb }
+	if got := k.EffItersFor(3); got != 3 {
+		t.Errorf("per-TB bound: %d", got)
+	}
+	if got := k.EffItersFor(99); got != 10 {
+		t.Errorf("kernel bound: %d", got)
+	}
+	if got := k.EffItersFor(0); got != 1 {
+		t.Errorf("floor of 1: %d", got)
+	}
+}

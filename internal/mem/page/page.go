@@ -1,0 +1,292 @@
+// Package page implements the simulated unified virtual memory of the
+// NUMA-GPU: managed allocations (cudaMallocManaged), the page table that
+// maps pages to NUMA nodes (chiplets), and the canned placement strategies
+// the runtime composes — round-robin interleaving at arbitrary granularity,
+// kernel-wide contiguous chunks, and reactive first-touch.
+package page
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a NUMA node (chiplet). Unmapped marks pages that have
+// not been placed yet (relevant only under first-touch policies).
+type NodeID = int
+
+// Unmapped is the page-table entry of a page that has no home node yet.
+const Unmapped NodeID = -1
+
+// Alloc is one managed allocation. ID is the allocation-site identity (the
+// paper's "MallocPC") that links the allocation to the compiler's locality
+// table.
+type Alloc struct {
+	ID       string
+	Base     uint64
+	Size     uint64
+	ElemSize int
+}
+
+// Pages returns the number of pages the allocation spans, given the page
+// size it was created under.
+func (a *Alloc) pages(pageBytes uint64) int {
+	return int((a.Size + pageBytes - 1) / pageBytes)
+}
+
+// End returns one past the last byte of the allocation.
+func (a *Alloc) End() uint64 { return a.Base + a.Size }
+
+// Contains reports whether addr falls inside the allocation.
+func (a *Alloc) Contains(addr uint64) bool {
+	return addr >= a.Base && addr < a.End()
+}
+
+// ElemAddr returns the byte address of element i.
+func (a *Alloc) ElemAddr(i int64) uint64 {
+	return a.Base + uint64(i)*uint64(a.ElemSize)
+}
+
+// Elems returns the number of elements in the allocation.
+func (a *Alloc) Elems() int64 { return int64(a.Size) / int64(a.ElemSize) }
+
+// Space is a simulated virtual address space with a page table.
+type Space struct {
+	PageBytes uint64
+	Nodes     int
+
+	allocs   []*Alloc
+	byID     map[string]*Alloc
+	table    []NodeID // indexed by global page number
+	nextBase uint64
+
+	// Faults counts first-touch page faults taken via TouchFirst.
+	Faults int
+}
+
+// NewSpace creates an address space with the given page size and node
+// count.
+func NewSpace(pageBytes uint64, nodes int) *Space {
+	if pageBytes == 0 {
+		panic("page: zero page size")
+	}
+	if nodes < 1 {
+		panic("page: need at least one node")
+	}
+	return &Space{
+		PageBytes: pageBytes,
+		Nodes:     nodes,
+		byID:      make(map[string]*Alloc),
+		nextBase:  pageBytes, // keep address 0 unmapped as a guard
+	}
+}
+
+// MallocManaged reserves a page-aligned allocation. Pages start Unmapped;
+// a placement policy (or first touch) assigns their homes. The id must be
+// unique within the space.
+func (s *Space) MallocManaged(id string, size uint64, elemSize int) *Alloc {
+	if size == 0 {
+		panic(fmt.Sprintf("page: zero-size allocation %q", id))
+	}
+	if elemSize <= 0 {
+		panic(fmt.Sprintf("page: allocation %q needs positive element size", id))
+	}
+	if _, dup := s.byID[id]; dup {
+		panic(fmt.Sprintf("page: duplicate allocation id %q", id))
+	}
+	a := &Alloc{ID: id, Base: s.nextBase, Size: size, ElemSize: elemSize}
+	s.allocs = append(s.allocs, a)
+	s.byID[id] = a
+
+	np := a.pages(s.PageBytes)
+	s.nextBase += uint64(np) * s.PageBytes
+	need := int(s.nextBase / s.PageBytes)
+	for len(s.table) < need {
+		s.table = append(s.table, Unmapped)
+	}
+	return a
+}
+
+// Lookup returns the allocation with the given id, or nil.
+func (s *Space) Lookup(id string) *Alloc { return s.byID[id] }
+
+// Allocs returns all allocations in creation order.
+func (s *Space) Allocs() []*Alloc { return s.allocs }
+
+// AllocOf returns the allocation containing addr, or nil.
+func (s *Space) AllocOf(addr uint64) *Alloc {
+	i := sort.Search(len(s.allocs), func(i int) bool { return s.allocs[i].End() > addr })
+	if i < len(s.allocs) && s.allocs[i].Contains(addr) {
+		return s.allocs[i]
+	}
+	return nil
+}
+
+// PageOf returns the global page number of addr.
+func (s *Space) PageOf(addr uint64) int { return int(addr / s.PageBytes) }
+
+// Home returns the node a page is mapped to, or Unmapped.
+func (s *Space) Home(addr uint64) NodeID {
+	p := s.PageOf(addr)
+	if p >= len(s.table) {
+		return Unmapped
+	}
+	return s.table[p]
+}
+
+// TouchFirst implements first-touch placement: if addr's page is unmapped
+// it is mapped to node and TouchFirst reports true (a fault was taken).
+func (s *Space) TouchFirst(addr uint64, node NodeID) (faulted bool) {
+	p := s.PageOf(addr)
+	if p >= len(s.table) {
+		return false
+	}
+	if s.table[p] == Unmapped {
+		s.table[p] = node
+		s.Faults++
+		return true
+	}
+	return false
+}
+
+// Place assigns each page of a using placer, which maps the page's index
+// within the allocation to a node. A negative result leaves the page
+// unmapped (first-touch territory).
+func (s *Space) Place(a *Alloc, placer func(pageIdx int) NodeID) {
+	first := int(a.Base / s.PageBytes)
+	np := a.pages(s.PageBytes)
+	for i := 0; i < np; i++ {
+		n := placer(i)
+		if n >= s.Nodes {
+			panic(fmt.Sprintf("page: placer for %q returned node %d of %d", a.ID, n, s.Nodes))
+		}
+		if n < 0 {
+			n = Unmapped
+		}
+		s.table[first+i] = n
+	}
+}
+
+// ResetPlacement unmaps every page of every allocation (used between
+// policy runs on a shared space).
+func (s *Space) ResetPlacement() {
+	for i := range s.table {
+		s.table[i] = Unmapped
+	}
+	s.Faults = 0
+}
+
+// NodeBytes returns, for one allocation, how many bytes live on each node.
+// Unmapped pages are not counted.
+func (s *Space) NodeBytes(a *Alloc) []uint64 {
+	out := make([]uint64, s.Nodes)
+	first := int(a.Base / s.PageBytes)
+	np := a.pages(s.PageBytes)
+	for i := 0; i < np; i++ {
+		if n := s.table[first+i]; n != Unmapped {
+			out[n] += s.PageBytes
+		}
+	}
+	return out
+}
+
+// MappedFraction returns the fraction of a's pages that have homes.
+func (s *Space) MappedFraction(a *Alloc) float64 {
+	first := int(a.Base / s.PageBytes)
+	np := a.pages(s.PageBytes)
+	if np == 0 {
+		return 0
+	}
+	mapped := 0
+	for i := 0; i < np; i++ {
+		if s.table[first+i] != Unmapped {
+			mapped++
+		}
+	}
+	return float64(mapped) / float64(np)
+}
+
+// --- canned placers ---
+
+// Interleave returns a placer that distributes pages round-robin over the
+// node order in groups of granPages pages (granPages < 1 is clamped to 1).
+// This realizes both the baseline page interleaving and LASP's stride-aware
+// placement (Equation 1) when granPages is derived from the access stride.
+func Interleave(granPages int, order []int) func(int) NodeID {
+	if granPages < 1 {
+		granPages = 1
+	}
+	n := len(order)
+	return func(pageIdx int) NodeID {
+		return order[(pageIdx/granPages)%n]
+	}
+}
+
+// Chunks returns a placer that splits totalPages into len(order) contiguous
+// chunks, one per node in order — the kernel-wide data partitioning of
+// Milic et al. and LASP's fallback for ITL/unclassified structures.
+func Chunks(totalPages int, order []int) func(int) NodeID {
+	n := len(order)
+	if n == 0 {
+		panic("page: Chunks needs a node order")
+	}
+	per := (totalPages + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	return func(pageIdx int) NodeID {
+		c := pageIdx / per
+		if c >= n {
+			c = n - 1
+		}
+		return order[c]
+	}
+}
+
+// AlignedChunks is like Chunks but rounds each chunk boundary up to a
+// multiple of alignPages, keeping rows of a row-major structure whole on a
+// node (LASP's row-based placement).
+func AlignedChunks(totalPages int, alignPages int, order []int) func(int) NodeID {
+	n := len(order)
+	if n == 0 {
+		panic("page: AlignedChunks needs a node order")
+	}
+	if alignPages < 1 {
+		alignPages = 1
+	}
+	per := (totalPages + n - 1) / n
+	per = ((per + alignPages - 1) / alignPages) * alignPages
+	if per < alignPages {
+		per = alignPages
+	}
+	return func(pageIdx int) NodeID {
+		c := pageIdx / per
+		if c >= n {
+			c = n - 1
+		}
+		return order[c]
+	}
+}
+
+// Fixed returns a placer that puts every page on one node.
+func Fixed(node NodeID) func(int) NodeID {
+	return func(int) NodeID { return node }
+}
+
+// Leave returns a placer that leaves every page unmapped (pure
+// first-touch).
+func Leave() func(int) NodeID {
+	return func(int) NodeID { return Unmapped }
+}
+
+// BytesToPages converts a byte granularity to whole pages (rounding up,
+// minimum one page).
+func BytesToPages(bytes, pageBytes uint64) int {
+	if bytes == 0 {
+		return 1
+	}
+	p := int((bytes + pageBytes - 1) / pageBytes)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}

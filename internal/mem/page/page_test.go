@@ -1,0 +1,318 @@
+package page
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMallocManagedLayout(t *testing.T) {
+	s := NewSpace(4096, 16)
+	a := s.MallocManaged("A", 10000, 4) // 3 pages
+	b := s.MallocManaged("B", 4096, 8)  // 1 page
+	if a.Base%4096 != 0 || b.Base%4096 != 0 {
+		t.Error("allocations not page aligned")
+	}
+	if b.Base < a.End() {
+		t.Error("allocations overlap")
+	}
+	if got := s.Lookup("A"); got != a {
+		t.Error("Lookup failed")
+	}
+	if got := s.AllocOf(a.Base + 9999); got != a {
+		t.Error("AllocOf inside A failed")
+	}
+	if got := s.AllocOf(a.Base + 12000); got != nil && got != b {
+		// 12000 is in A's third page padding but outside A's size: should
+		// not be attributed to A.
+		t.Errorf("AllocOf in padding returned %v", got)
+	}
+	if s.AllocOf(0) != nil {
+		t.Error("AllocOf(0) should be nil (guard page)")
+	}
+	if a.Elems() != 2500 {
+		t.Errorf("A.Elems = %d, want 2500", a.Elems())
+	}
+	if a.ElemAddr(10) != a.Base+40 {
+		t.Error("ElemAddr wrong")
+	}
+}
+
+func TestMallocPanics(t *testing.T) {
+	s := NewSpace(4096, 4)
+	s.MallocManaged("A", 100, 4)
+	for name, f := range map[string]func(){
+		"duplicate id": func() { s.MallocManaged("A", 100, 4) },
+		"zero size":    func() { s.MallocManaged("Z", 0, 4) },
+		"bad elem":     func() { s.MallocManaged("E", 100, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInterleavePlacement(t *testing.T) {
+	s := NewSpace(4096, 4)
+	a := s.MallocManaged("A", 16*4096, 4)
+	order := []int{0, 1, 2, 3}
+	s.Place(a, Interleave(1, order))
+	for i := 0; i < 16; i++ {
+		addr := a.Base + uint64(i)*4096
+		if got := s.Home(addr); got != i%4 {
+			t.Errorf("page %d home = %d, want %d", i, got, i%4)
+		}
+	}
+	// Granularity 2: pairs of pages per node.
+	s.Place(a, Interleave(2, order))
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3, 0, 0, 1, 1, 2, 2, 3, 3}
+	for i := 0; i < 16; i++ {
+		addr := a.Base + uint64(i)*4096
+		if got := s.Home(addr); got != want[i] {
+			t.Errorf("gran-2 page %d home = %d, want %d", i, got, want[i])
+		}
+	}
+	nb := s.NodeBytes(a)
+	for n, b := range nb {
+		if b != 4*4096 {
+			t.Errorf("node %d bytes = %d, want %d", n, b, 4*4096)
+		}
+	}
+}
+
+func TestChunksPlacement(t *testing.T) {
+	s := NewSpace(4096, 4)
+	a := s.MallocManaged("A", 10*4096, 4)
+	s.Place(a, Chunks(10, []int{0, 1, 2, 3}))
+	// ceil(10/4)=3 pages per chunk; last node gets the remaining 1.
+	want := []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3}
+	for i, w := range want {
+		if got := s.Home(a.Base + uint64(i)*4096); got != w {
+			t.Errorf("chunk page %d home = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestAlignedChunksPlacement(t *testing.T) {
+	s := NewSpace(4096, 2)
+	a := s.MallocManaged("A", 10*4096, 4)
+	// Align chunk boundaries to 4-page multiples: ceil(10/2)=5 -> 8.
+	s.Place(a, AlignedChunks(10, 4, []int{0, 1}))
+	for i := 0; i < 8; i++ {
+		if got := s.Home(a.Base + uint64(i)*4096); got != 0 {
+			t.Errorf("aligned page %d home = %d, want 0", i, got)
+		}
+	}
+	for i := 8; i < 10; i++ {
+		if got := s.Home(a.Base + uint64(i)*4096); got != 1 {
+			t.Errorf("aligned page %d home = %d, want 1", i, got)
+		}
+	}
+}
+
+func TestFirstTouch(t *testing.T) {
+	s := NewSpace(4096, 4)
+	a := s.MallocManaged("A", 4*4096, 4)
+	s.Place(a, Leave())
+	if got := s.Home(a.Base); got != Unmapped {
+		t.Fatalf("page should start unmapped, got %d", got)
+	}
+	if !s.TouchFirst(a.Base, 2) {
+		t.Error("first touch should fault")
+	}
+	if s.TouchFirst(a.Base, 3) {
+		t.Error("second touch should not fault")
+	}
+	if got := s.Home(a.Base); got != 2 {
+		t.Errorf("home after first touch = %d, want 2", got)
+	}
+	if s.Faults != 1 {
+		t.Errorf("fault count = %d, want 1", s.Faults)
+	}
+	if f := s.MappedFraction(a); f != 0.25 {
+		t.Errorf("mapped fraction = %f, want 0.25", f)
+	}
+	s.ResetPlacement()
+	if got := s.Home(a.Base); got != Unmapped {
+		t.Error("ResetPlacement did not unmap")
+	}
+	if s.Faults != 0 {
+		t.Error("ResetPlacement did not clear faults")
+	}
+}
+
+func TestFixedPlacer(t *testing.T) {
+	s := NewSpace(4096, 4)
+	a := s.MallocManaged("A", 3*4096, 4)
+	s.Place(a, Fixed(3))
+	for i := 0; i < 3; i++ {
+		if got := s.Home(a.Base + uint64(i)*4096); got != 3 {
+			t.Errorf("page %d home = %d, want 3", i, got)
+		}
+	}
+}
+
+func TestBytesToPages(t *testing.T) {
+	cases := []struct {
+		bytes, pageBytes uint64
+		want             int
+	}{
+		{0, 4096, 1},
+		{1, 4096, 1},
+		{4096, 4096, 1},
+		{4097, 4096, 2},
+		{128 * 1024, 4096, 32},
+	}
+	for _, tc := range cases {
+		if got := BytesToPages(tc.bytes, tc.pageBytes); got != tc.want {
+			t.Errorf("BytesToPages(%d,%d) = %d, want %d", tc.bytes, tc.pageBytes, got, tc.want)
+		}
+	}
+}
+
+// Property: every address inside every allocation resolves back to that
+// allocation, and interleaved placement maps every page to a valid node.
+func TestSpaceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nodes := 1 + r.Intn(16)
+		s := NewSpace(4096, nodes)
+		order := make([]int, nodes)
+		for i := range order {
+			order[i] = i
+		}
+		var allocs []*Alloc
+		for i := 0; i < 1+r.Intn(5); i++ {
+			size := uint64(1 + r.Intn(100_000))
+			a := s.MallocManaged(string(rune('A'+i)), size, 4)
+			s.Place(a, Interleave(1+r.Intn(4), order))
+			allocs = append(allocs, a)
+		}
+		for _, a := range allocs {
+			for probe := 0; probe < 10; probe++ {
+				addr := a.Base + uint64(r.Int63n(int64(a.Size)))
+				if s.AllocOf(addr) != a {
+					return false
+				}
+				home := s.Home(addr)
+				if home < 0 || home >= nodes {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Chunks assigns non-decreasing node indices over the page range
+// when the order is ascending (contiguity invariant of kernel-wide
+// placement).
+func TestChunksMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := 1 + r.Intn(200)
+		nodes := 1 + r.Intn(16)
+		order := make([]int, nodes)
+		for i := range order {
+			order[i] = i
+		}
+		placer := Chunks(total, order)
+		prev := -1
+		for p := 0; p < total; p++ {
+			n := placer(p)
+			if n < prev || n >= nodes {
+				return false
+			}
+			prev = n
+		}
+		return prev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResidencyBasics(t *testing.T) {
+	r := NewResidency(2, 3)
+	if r.Unlimited() {
+		t.Fatal("capacity 3 should not be unlimited")
+	}
+	// Cold touches fetch without eviction until capacity.
+	for i, pg := range []int{10, 11, 12} {
+		fetched, evicted := r.Touch(0, pg)
+		if !fetched || evicted {
+			t.Fatalf("touch %d: fetched=%v evicted=%v", i, fetched, evicted)
+		}
+	}
+	if r.PresentPages(0) != 3 {
+		t.Errorf("present = %d", r.PresentPages(0))
+	}
+	// Re-touch is free.
+	if fetched, _ := r.Touch(0, 10); fetched {
+		t.Error("resident page refetched")
+	}
+	// Fourth page evicts the LRU (11: 10 was re-touched).
+	fetched, evicted := r.Touch(0, 13)
+	if !fetched || !evicted {
+		t.Errorf("capacity miss: fetched=%v evicted=%v", fetched, evicted)
+	}
+	if r.Resident(0, 11) {
+		t.Error("LRU page 11 should have been evicted")
+	}
+	if !r.Resident(0, 10) || !r.Resident(0, 12) || !r.Resident(0, 13) {
+		t.Error("wrong eviction victim")
+	}
+	// Nodes are independent.
+	if r.PresentPages(1) != 0 {
+		t.Error("node 1 should be empty")
+	}
+	if r.Fetches != 4 || r.Evictions != 1 {
+		t.Errorf("counters: fetches=%d evictions=%d", r.Fetches, r.Evictions)
+	}
+}
+
+func TestResidencyUnlimited(t *testing.T) {
+	r := NewResidency(1, 0)
+	if !r.Unlimited() {
+		t.Fatal("capacity 0 should be unlimited")
+	}
+	if fetched, evicted := r.Touch(0, 42); fetched || evicted {
+		t.Error("unlimited residency should never fetch")
+	}
+	if !r.Resident(0, 42) {
+		t.Error("unlimited residency treats everything as resident")
+	}
+}
+
+// Property: resident count never exceeds capacity and a touched page is
+// always resident immediately afterwards.
+func TestResidencyInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		capPages := 1 + r.Intn(16)
+		res := NewResidency(2, capPages)
+		for i := 0; i < 300; i++ {
+			node := r.Intn(2)
+			pg := r.Intn(64)
+			res.Touch(node, pg)
+			if !res.Resident(node, pg) {
+				return false
+			}
+			if res.PresentPages(node) > capPages {
+				return false
+			}
+		}
+		return res.Fetches >= res.Evictions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

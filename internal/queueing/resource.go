@@ -1,0 +1,98 @@
+// Package queueing provides the bandwidth-server primitive shared by the
+// DRAM, interconnect, and SM issue models: a resource that serializes byte
+// transfers at a fixed rate and reports queueing-delayed completion times.
+//
+// The model is the standard "next free time" discipline for event-driven
+// simulation: a transfer of b bytes arriving at time t on a resource with
+// rate R begins at max(t, nextFree) and occupies the resource for b/R
+// cycles. This captures both serialization delay and queueing under
+// contention, the two first-order effects behind NUMA-GPU bandwidth cliffs.
+package queueing
+
+import "fmt"
+
+// Resource is a bandwidth-limited server. The zero value is not usable;
+// create resources with NewResource.
+type Resource struct {
+	name string
+	// rate is the service rate in bytes per cycle; rate <= 0 means
+	// infinite bandwidth (pure latency element).
+	rate     float64
+	nextFree float64
+
+	busy  float64 // total busy cycles
+	bytes uint64  // total bytes served
+	ops   uint64  // total transfers
+}
+
+// NewResource creates a named resource with the given service rate in
+// bytes per cycle. A non-positive rate models an infinitely fast resource.
+func NewResource(name string, bytesPerCycle float64) *Resource {
+	return &Resource{name: name, rate: bytesPerCycle}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Rate returns the service rate in bytes per cycle (<= 0: infinite).
+func (r *Resource) Rate() float64 { return r.rate }
+
+// Serve schedules a transfer of bytes arriving at now and returns the time
+// the last byte has been transferred. Zero-byte transfers complete
+// immediately at max(now, nextFree) without occupying the resource.
+func (r *Resource) Serve(now float64, bytes int) (done float64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("queueing: negative transfer on %s", r.name))
+	}
+	if r.rate <= 0 {
+		return now
+	}
+	start := now
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	dur := float64(bytes) / r.rate
+	r.nextFree = start + dur
+	r.busy += dur
+	r.bytes += uint64(bytes)
+	r.ops++
+	return r.nextFree
+}
+
+// QueueDelay returns how long a transfer arriving at now would wait before
+// starting service, without scheduling anything.
+func (r *Resource) QueueDelay(now float64) float64 {
+	if r.rate <= 0 || r.nextFree <= now {
+		return 0
+	}
+	return r.nextFree - now
+}
+
+// BusyCycles returns the total cycles the resource has been serving.
+func (r *Resource) BusyCycles() float64 { return r.busy }
+
+// BytesServed returns the total bytes transferred.
+func (r *Resource) BytesServed() uint64 { return r.bytes }
+
+// Ops returns the number of transfers served.
+func (r *Resource) Ops() uint64 { return r.ops }
+
+// Utilization returns busy-cycles divided by the elapsed horizon.
+func (r *Resource) Utilization(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	u := r.busy / horizon
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset clears schedule and statistics.
+func (r *Resource) Reset() {
+	r.nextFree = 0
+	r.busy = 0
+	r.bytes = 0
+	r.ops = 0
+}

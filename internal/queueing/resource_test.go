@@ -1,0 +1,123 @@
+package queueing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestServeSerialization(t *testing.T) {
+	r := NewResource("link", 10) // 10 B/cycle
+	done := r.Serve(0, 100)
+	if done != 10 {
+		t.Errorf("first transfer done at %f, want 10", done)
+	}
+	// Arrives while busy: queues behind the first.
+	done = r.Serve(5, 50)
+	if done != 15 {
+		t.Errorf("queued transfer done at %f, want 15", done)
+	}
+	// Arrives after idle gap: starts immediately.
+	done = r.Serve(100, 10)
+	if done != 101 {
+		t.Errorf("post-gap transfer done at %f, want 101", done)
+	}
+	if r.BytesServed() != 160 {
+		t.Errorf("bytes served = %d, want 160", r.BytesServed())
+	}
+	if r.Ops() != 3 {
+		t.Errorf("ops = %d, want 3", r.Ops())
+	}
+	if r.BusyCycles() != 16 {
+		t.Errorf("busy = %f, want 16", r.BusyCycles())
+	}
+}
+
+func TestInfiniteRate(t *testing.T) {
+	r := NewResource("inf", 0)
+	if done := r.Serve(7, 1<<30); done != 7 {
+		t.Errorf("infinite resource delayed transfer to %f", done)
+	}
+	if r.QueueDelay(0) != 0 {
+		t.Error("infinite resource reported queue delay")
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	r := NewResource("link", 10)
+	r.Serve(0, 100) // busy until 10
+	if done := r.Serve(5, 0); done != 10 {
+		t.Errorf("zero-byte transfer done at %f, want 10 (waits but does not occupy)", done)
+	}
+	if r.BusyCycles() != 10 {
+		t.Errorf("zero-byte transfer changed busy time: %f", r.BusyCycles())
+	}
+}
+
+func TestQueueDelay(t *testing.T) {
+	r := NewResource("link", 10)
+	r.Serve(0, 100) // busy until 10
+	if d := r.QueueDelay(4); d != 6 {
+		t.Errorf("QueueDelay(4) = %f, want 6", d)
+	}
+	if d := r.QueueDelay(20); d != 0 {
+		t.Errorf("QueueDelay(20) = %f, want 0", d)
+	}
+}
+
+func TestUtilizationAndReset(t *testing.T) {
+	r := NewResource("link", 10)
+	r.Serve(0, 100)
+	if u := r.Utilization(20); u != 0.5 {
+		t.Errorf("utilization = %f, want 0.5", u)
+	}
+	if u := r.Utilization(5); u != 1 {
+		t.Errorf("utilization should clamp to 1, got %f", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Errorf("zero-horizon utilization = %f", u)
+	}
+	r.Reset()
+	if r.BusyCycles() != 0 || r.BytesServed() != 0 || r.Ops() != 0 {
+		t.Error("Reset did not clear stats")
+	}
+	if done := r.Serve(0, 10); done != 1 {
+		t.Errorf("post-reset transfer done at %f, want 1", done)
+	}
+}
+
+func TestNegativeBytesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative transfer should panic")
+		}
+	}()
+	NewResource("x", 1).Serve(0, -1)
+}
+
+// Property: completion times are non-decreasing for non-decreasing arrival
+// times, and total busy time equals total bytes / rate.
+func TestResourceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		res := NewResource("p", float64(1+r.Intn(100)))
+		now, lastDone := 0.0, 0.0
+		var totalBytes uint64
+		for i := 0; i < 100; i++ {
+			now += float64(r.Intn(10))
+			b := r.Intn(1000)
+			done := res.Serve(now, b)
+			totalBytes += uint64(b)
+			if done < lastDone-1e-9 || done < now-1e-9 {
+				return false
+			}
+			lastDone = done
+		}
+		wantBusy := float64(totalBytes) / res.Rate()
+		diff := res.BusyCycles() - wantBusy
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

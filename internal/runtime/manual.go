@@ -1,0 +1,140 @@
+package runtime
+
+import (
+	"fmt"
+
+	"ladm/internal/kir"
+	"ladm/internal/mem/page"
+	"ladm/internal/sched"
+)
+
+// This file implements the Locality Descriptor comparison point of the
+// paper's Table I (Vijaykumar et al., Sun et al.): a programmer-supplied,
+// per-structure description of where data should live and how the grid
+// should be scheduled. It trades LADM's transparency for manual control —
+// the paper's argument is that static analysis recovers the same decisions
+// without the annotation burden, which the AblationManual benchmark and
+// TestManualMatchesLASP check quantitatively.
+
+// HintKind selects a manual placement strategy for one data structure.
+type HintKind int
+
+const (
+	// HintInterleave spreads pages round-robin at a given granularity.
+	HintInterleave HintKind = iota
+	// HintChunks splits the structure into contiguous per-node chunks.
+	HintChunks
+	// HintStride co-locates a strided walk: the node is chosen by the
+	// page's offset within one stride period.
+	HintStride
+	// HintFixed pins the whole structure to one node.
+	HintFixed
+)
+
+// Hint is one structure's manual placement directive.
+type Hint struct {
+	Kind HintKind
+	// GranPages is the interleave granularity (HintInterleave).
+	GranPages int
+	// StrideBytes is the walk period (HintStride).
+	StrideBytes uint64
+	// Node pins the structure (HintFixed).
+	Node int
+}
+
+// ManualSched selects the hand-chosen threadblock scheduler.
+type ManualSched int
+
+const (
+	ManualBatched ManualSched = iota
+	ManualKernelWide
+	ManualRowBinding
+	ManualColBinding
+)
+
+// Descriptor is a complete hand-tuned locality specification for a
+// workload: per-structure placement hints plus a scheduler choice.
+type Descriptor struct {
+	Hints map[string]Hint
+	Sched ManualSched
+	// Batch is the batch size for ManualBatched (default 1).
+	Batch int
+}
+
+// LD returns a policy driven by the given locality descriptor.
+func LD(d Descriptor) Policy {
+	return Policy{
+		Name:      "locality-descriptor",
+		Placement: PlaceManual,
+		Sched:     SchedManual,
+		Cache:     CacheRTWICE,
+		Manual:    &d,
+	}
+}
+
+// manualPlace applies the descriptor's hint for one allocation; structures
+// without hints fall back to single-page interleaving.
+func (p *Plan) manualPlace(alloc *page.Alloc, pages int, order []int) {
+	d := p.Policy.Manual
+	if d == nil {
+		p.Space.Place(alloc, page.Interleave(1, order))
+		return
+	}
+	h, ok := d.Hints[alloc.ID]
+	if !ok {
+		p.Space.Place(alloc, page.Interleave(1, order))
+		return
+	}
+	switch h.Kind {
+	case HintInterleave:
+		p.Space.Place(alloc, page.Interleave(h.GranPages, order))
+	case HintChunks:
+		p.Space.Place(alloc, page.Chunks(pages, order))
+	case HintStride:
+		nodes := uint64(p.Cfg.Nodes())
+		if h.StrideBytes < nodes*p.Cfg.PageBytes {
+			p.Space.Place(alloc, page.Interleave(1, order))
+			return
+		}
+		sb := h.StrideBytes
+		pageBytes := p.Cfg.PageBytes
+		p.Space.Place(alloc, func(pageIdx int) page.NodeID {
+			off := uint64(pageIdx) * pageBytes
+			n := int((off % sb) * nodes / sb)
+			if n >= int(nodes) {
+				n = int(nodes) - 1
+			}
+			return n
+		})
+	case HintFixed:
+		node := h.Node
+		if node < 0 || node >= p.Cfg.Nodes() {
+			node = 0
+		}
+		p.Space.Place(alloc, page.Fixed(node))
+	default:
+		panic(fmt.Sprintf("runtime: unknown hint kind %d", h.Kind))
+	}
+}
+
+// manualSchedule applies the descriptor's scheduler choice.
+func (p *Plan) manualSchedule(k *kir.Kernel) sched.Assignment {
+	d := p.Policy.Manual
+	if d == nil {
+		return sched.Batched{Batch: 1}.Assign(k, p.Cfg)
+	}
+	switch d.Sched {
+	case ManualKernelWide:
+		return sched.KernelWide{}.Assign(k, p.Cfg)
+	case ManualRowBinding:
+		return sched.RowBinding{Hierarchical: true}.Assign(k, p.Cfg)
+	case ManualColBinding:
+		return sched.ColBinding{Hierarchical: true}.Assign(k, p.Cfg)
+	default:
+		b := d.Batch
+		if b < 1 {
+			b = 1
+		}
+		return sched.Batched{Batch: b, Label: "manual-batched"}.Assign(k, p.Cfg)
+	}
+}

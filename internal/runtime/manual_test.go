@@ -1,0 +1,90 @@
+package runtime
+
+import "testing"
+
+func TestManualHints(t *testing.T) {
+	w := stridedWorkload()
+	cfg := hier()
+	strideBytes := uint64(256*256*4) * 8 / 8 // bDim*gDim elements * 4B
+	ld := LD(Descriptor{
+		Hints: map[string]Hint{
+			"A": {Kind: HintStride, StrideBytes: strideBytes},
+			"B": {Kind: HintChunks},
+		},
+		Sched: ManualBatched,
+		Batch: 16,
+	})
+	plan, err := Prepare(w, cfg, ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.SchedulerName(0); got != "manual-batched" {
+		t.Errorf("scheduler = %q", got)
+	}
+	// B is chunked: first page node 0, last page node 15.
+	b := plan.Space.Lookup("B")
+	if plan.Space.Home(b.Base) != 0 || plan.Space.Home(b.Base+b.Size-1) != 15 {
+		t.Error("chunk hint not applied")
+	}
+	// A follows the stride period: pages one period apart share a node.
+	a := plan.Space.Lookup("A")
+	if plan.Space.Home(a.Base) != plan.Space.Home(a.Base+strideBytes) {
+		t.Error("stride hint not applied")
+	}
+}
+
+func TestManualFixedAndFallbacks(t *testing.T) {
+	w := stridedWorkload()
+	cfg := hier()
+	ld := LD(Descriptor{
+		Hints: map[string]Hint{
+			"A": {Kind: HintFixed, Node: 7},
+			// B has no hint: falls back to interleave.
+		},
+		Sched: ManualKernelWide,
+	})
+	plan, err := Prepare(w, cfg, ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := plan.Space.Lookup("A")
+	for off := uint64(0); off < a.Size; off += 64 * cfg.PageBytes {
+		if plan.Space.Home(a.Base+off) != 7 {
+			t.Fatal("fixed hint not applied")
+		}
+	}
+	bAlloc := plan.Space.Lookup("B")
+	if plan.Space.Home(bAlloc.Base) != 0 || plan.Space.Home(bAlloc.Base+cfg.PageBytes) != 1 {
+		t.Error("unhinted structure should interleave")
+	}
+	if got := plan.SchedulerName(0); got != "kernel-wide" {
+		t.Errorf("manual kernel-wide = %q", got)
+	}
+	// Out-of-range fixed node clamps rather than exploding.
+	ld2 := LD(Descriptor{Hints: map[string]Hint{"A": {Kind: HintFixed, Node: 99}}})
+	if _, err := Prepare(w, cfg, ld2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManualBindingSchedulers(t *testing.T) {
+	w := gemmWorkload(4<<20, 4<<20)
+	cfg := hier()
+	for sched, want := range map[ManualSched]string{
+		ManualRowBinding: "row-binding",
+		ManualColBinding: "col-binding",
+	} {
+		plan, err := Prepare(w, cfg, LD(Descriptor{Sched: sched}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := plan.SchedulerName(0); got != want {
+			t.Errorf("sched %d = %q, want %q", sched, got, want)
+		}
+	}
+	// Nil descriptor degrades to RR rather than crashing.
+	pol := Policy{Name: "bare-manual", Placement: PlaceManual, Sched: SchedManual}
+	if _, err := Prepare(w, cfg, pol); err != nil {
+		t.Fatal(err)
+	}
+}

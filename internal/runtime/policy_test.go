@@ -1,0 +1,66 @@
+package runtime
+
+import "testing"
+
+func TestPresetNames(t *testing.T) {
+	want := map[string]bool{
+		"baseline-rr": true, "batch+ft-optimal": true, "batch+ft": true,
+		"kernel-wide": true, "coda": true, "h-coda": true,
+		"lasp+rtwice": true, "lasp+ronce": true, "ladm": true,
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("preset count = %d, want %d", len(all), len(want))
+	}
+	for _, p := range all {
+		if !want[p.Name] {
+			t.Errorf("unexpected preset %q", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("ladm")
+	if err != nil || p.Name != "ladm" {
+		t.Fatalf("ByName(ladm) = %+v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestLADMConfiguration(t *testing.T) {
+	p := LADM()
+	if p.Placement != PlaceLASP || p.Sched != SchedLASP || p.Cache != CacheCRB || !p.Hierarchical {
+		t.Errorf("LADM preset wrong: %+v", p)
+	}
+}
+
+func TestBatchFTVariants(t *testing.T) {
+	opt, real := BatchFTOptimal(), BatchFT()
+	if opt.ChargeFaults {
+		t.Error("optimal variant must not charge faults")
+	}
+	if !real.ChargeFaults {
+		t.Error("realistic variant must charge faults")
+	}
+	if opt.StaticBatch != 8 || real.StaticBatch != 8 {
+		t.Error("static batch should default to 8")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if PlaceLASP.String() != "lasp" || PlaceFirstTouch.String() != "first-touch" ||
+		PlaceCODA.String() != "coda" || PlaceInterleave.String() != "interleave" ||
+		PlaceKernelWide.String() != "kernel-wide" {
+		t.Error("PlacementKind strings")
+	}
+	if SchedLASP.String() != "lasp" || SchedRR.String() != "rr" ||
+		SchedStaticBatch.String() != "static-batch" || SchedCODA.String() != "coda" ||
+		SchedKernelWide.String() != "kernel-wide" {
+		t.Error("SchedKind strings")
+	}
+	if CacheRTWICE.String() != "rtwice" || CacheRONCE.String() != "ronce" || CacheCRB.String() != "crb" {
+		t.Error("CacheKind strings")
+	}
+}

@@ -1,0 +1,228 @@
+// Package sched implements the threadblock-to-node scheduling mechanisms
+// compared in the paper: flat and hierarchical batched round-robin
+// (baseline, Batch+FT, CODA/H-CODA, and LASP's alignment-aware scheduler,
+// which differ only in how the batch size is chosen), kernel-wide
+// contiguous chunking (Milic et al.), and LASP's row-binding and
+// column-binding schedulers that keep a grid row or column of threadblocks
+// on one node.
+//
+// A scheduler maps the linearized grid (row-major, id = by*gridDim.x + bx)
+// to one FIFO queue per NUMA node; SMs of a node drain their queue in
+// order. Policy selection — which mechanism and which batch size a given
+// kernel gets — lives in internal/runtime.
+package sched
+
+import (
+	"fmt"
+
+	"ladm/internal/arch"
+	"ladm/internal/kir"
+)
+
+// Assignment is the result of scheduling one kernel launch.
+type Assignment struct {
+	// Queues holds, per node, the ordered threadblock ids that node runs.
+	Queues [][]int32
+	// BatchTBs records the batch granularity used (diagnostics).
+	BatchTBs int
+	// Scheduler is the name of the mechanism that produced the assignment.
+	Scheduler string
+}
+
+// TotalTBs returns the number of threadblocks across all queues.
+func (a *Assignment) TotalTBs() int {
+	n := 0
+	for _, q := range a.Queues {
+		n += len(q)
+	}
+	return n
+}
+
+// NodeOf returns the node each threadblock was assigned to.
+func (a *Assignment) NodeOf() []int32 {
+	out := make([]int32, a.TotalTBs())
+	for node, q := range a.Queues {
+		for _, tb := range q {
+			out[tb] = int32(node)
+		}
+	}
+	return out
+}
+
+// Scheduler assigns a kernel's threadblocks to NUMA nodes.
+type Scheduler interface {
+	Name() string
+	Assign(k *kir.Kernel, cfg *arch.Config) Assignment
+}
+
+func newQueues(nodes int) [][]int32 {
+	q := make([][]int32, nodes)
+	for i := range q {
+		q[i] = []int32{}
+	}
+	return q
+}
+
+// Batched schedules fixed-size batches of consecutive threadblocks.
+//
+// Flat mode hands batch b to node b mod N — the round-robin of the
+// baseline (batch 1), Batch+FT (a static batch), CODA and LASP's
+// alignment-aware scheduler (page-aligned batches via Equation 2).
+//
+// Hierarchical mode groups ChipletsPerGPU consecutive batches onto one
+// GPU (round-robin across its chiplets) before moving to the next GPU, so
+// adjacent batches stay behind the same switch port — the paper's
+// hierarchical-affinity round-robin.
+type Batched struct {
+	Batch        int
+	Hierarchical bool
+	// Label overrides the reported name (e.g. "CODA" vs "align-aware").
+	Label string
+}
+
+// Name implements Scheduler.
+func (s Batched) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	if s.Hierarchical {
+		return fmt.Sprintf("hier-batched-%d", s.Batch)
+	}
+	return fmt.Sprintf("batched-%d", s.Batch)
+}
+
+// Assign implements Scheduler.
+func (s Batched) Assign(k *kir.Kernel, cfg *arch.Config) Assignment {
+	batch := s.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	nodes := cfg.Nodes()
+	queues := newQueues(nodes)
+	total := k.Grid.Count()
+	chiplets := cfg.ChipletsPerGPU
+	for tb := 0; tb < total; tb++ {
+		b := tb / batch
+		var node int
+		if s.Hierarchical && chiplets > 1 {
+			super := b / chiplets
+			gpu := super % cfg.GPUs
+			chiplet := b % chiplets
+			node = gpu*chiplets + chiplet
+		} else {
+			node = b % nodes
+		}
+		queues[node] = append(queues[node], int32(tb))
+	}
+	return Assignment{Queues: queues, BatchTBs: batch, Scheduler: s.Name()}
+}
+
+// KernelWide partitions the linearized grid into N contiguous chunks, one
+// per node — the kernel-wide grid partitioning of Milic et al., and LASP's
+// fallback for ITL and unclassified kernels. Contiguity across the whole
+// grid also makes it hierarchical by construction: neighbouring chunks sit
+// on neighbouring chiplets of the same GPU.
+type KernelWide struct{}
+
+// Name implements Scheduler.
+func (KernelWide) Name() string { return "kernel-wide" }
+
+// Assign implements Scheduler.
+func (KernelWide) Assign(k *kir.Kernel, cfg *arch.Config) Assignment {
+	nodes := cfg.Nodes()
+	total := k.Grid.Count()
+	per := (total + nodes - 1) / nodes
+	if per < 1 {
+		per = 1
+	}
+	queues := newQueues(nodes)
+	for tb := 0; tb < total; tb++ {
+		node := tb / per
+		if node >= nodes {
+			node = nodes - 1
+		}
+		queues[node] = append(queues[node], int32(tb))
+	}
+	return Assignment{Queues: queues, BatchTBs: per, Scheduler: "kernel-wide"}
+}
+
+// RowBinding keeps every threadblock of a grid row on one node (rows 2 and
+// 4 of Table II). Hierarchically, contiguous groups of rows go to one GPU
+// and rows round-robin across its chiplets; flat systems get contiguous
+// rows per node.
+type RowBinding struct {
+	Hierarchical bool
+}
+
+// Name implements Scheduler.
+func (s RowBinding) Name() string { return "row-binding" }
+
+// Assign implements Scheduler.
+func (s RowBinding) Assign(k *kir.Kernel, cfg *arch.Config) Assignment {
+	queues := newQueues(cfg.Nodes())
+	rows, cols := k.Grid.Y, k.Grid.X
+	if rows < 1 {
+		rows = 1
+	}
+	for row := 0; row < rows; row++ {
+		node := BindLine(row, rows, cfg, s.Hierarchical)
+		for bx := 0; bx < cols; bx++ {
+			queues[node] = append(queues[node], int32(row*cols+bx))
+		}
+	}
+	return Assignment{Queues: queues, BatchTBs: cols, Scheduler: s.Name()}
+}
+
+// ColBinding keeps every threadblock of a grid column on one node (rows 3
+// and 5 of Table II).
+type ColBinding struct {
+	Hierarchical bool
+}
+
+// Name implements Scheduler.
+func (s ColBinding) Name() string { return "col-binding" }
+
+// Assign implements Scheduler.
+func (s ColBinding) Assign(k *kir.Kernel, cfg *arch.Config) Assignment {
+	queues := newQueues(cfg.Nodes())
+	rows, cols := k.Grid.Y, k.Grid.X
+	if rows < 1 {
+		rows = 1
+	}
+	for col := 0; col < cols; col++ {
+		node := BindLine(col, cols, cfg, s.Hierarchical)
+		for row := 0; row < rows; row++ {
+			queues[node] = append(queues[node], int32(row*cols+col))
+		}
+	}
+	return Assignment{Queues: queues, BatchTBs: rows, Scheduler: s.Name()}
+}
+
+// BindLine maps grid line i of n (a row or column) to a node: contiguous
+// groups of lines per GPU with lines round-robin across the GPU's chiplets
+// when hierarchical, contiguous lines per node when flat. Exported so the
+// runtime can co-place data chunks with the lines that own them.
+func BindLine(i, n int, cfg *arch.Config, hierarchical bool) int {
+	nodes := cfg.Nodes()
+	if hierarchical && cfg.ChipletsPerGPU > 1 {
+		perGPU := (n + cfg.GPUs - 1) / cfg.GPUs
+		if perGPU < 1 {
+			perGPU = 1
+		}
+		gpu := i / perGPU
+		if gpu >= cfg.GPUs {
+			gpu = cfg.GPUs - 1
+		}
+		chiplet := (i % perGPU) % cfg.ChipletsPerGPU
+		return gpu*cfg.ChipletsPerGPU + chiplet
+	}
+	per := (n + nodes - 1) / nodes
+	if per < 1 {
+		per = 1
+	}
+	node := i / per
+	if node >= nodes {
+		node = nodes - 1
+	}
+	return node
+}

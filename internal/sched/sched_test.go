@@ -1,0 +1,363 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ladm/internal/arch"
+	"ladm/internal/kir"
+)
+
+func hierCfg() *arch.Config {
+	c := arch.DefaultHierarchical()
+	return &c
+}
+
+func flatCfg() *arch.Config {
+	c := arch.FourGPUSwitch(180)
+	return &c
+}
+
+func kernel1D(tbs int) *kir.Kernel {
+	return &kir.Kernel{Name: "k", Grid: kir.Dim1(tbs), Block: kir.Dim1(128)}
+}
+
+func kernel2D(x, y int) *kir.Kernel {
+	return &kir.Kernel{Name: "k", Grid: kir.Dim2(x, y), Block: kir.Dim2(16, 16)}
+}
+
+// checkComplete verifies every TB is assigned exactly once.
+func checkComplete(t *testing.T, a Assignment, total int) {
+	t.Helper()
+	seen := make(map[int32]bool)
+	for _, q := range a.Queues {
+		for _, tb := range q {
+			if seen[tb] {
+				t.Fatalf("TB %d assigned twice", tb)
+			}
+			if int(tb) >= total || tb < 0 {
+				t.Fatalf("TB %d out of range %d", tb, total)
+			}
+			seen[tb] = true
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("assigned %d of %d TBs", len(seen), total)
+	}
+}
+
+func TestBatchedFlat(t *testing.T) {
+	cfg := flatCfg()
+	a := Batched{Batch: 2}.Assign(kernel1D(16), cfg)
+	checkComplete(t, a, 16)
+	// Batch 0 (TB 0,1) -> node 0; batch 1 (TB 2,3) -> node 1; ...
+	if a.Queues[0][0] != 0 || a.Queues[0][1] != 1 || a.Queues[1][0] != 2 {
+		t.Errorf("flat batching wrong: %v", a.Queues)
+	}
+	// Wraps: batch 4 (TB 8,9) -> node 0 again.
+	if a.Queues[0][2] != 8 {
+		t.Errorf("wrap-around wrong: %v", a.Queues[0])
+	}
+	if a.BatchTBs != 2 {
+		t.Errorf("BatchTBs = %d", a.BatchTBs)
+	}
+}
+
+func TestBatchedDefaultsAndName(t *testing.T) {
+	cfg := flatCfg()
+	a := Batched{}.Assign(kernel1D(8), cfg) // batch clamps to 1
+	checkComplete(t, a, 8)
+	if a.BatchTBs != 1 {
+		t.Errorf("default batch = %d", a.BatchTBs)
+	}
+	if got := (Batched{Batch: 4}).Name(); got != "batched-4" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (Batched{Batch: 4, Hierarchical: true}).Name(); got != "hier-batched-4" {
+		t.Errorf("hier Name = %q", got)
+	}
+	if got := (Batched{Batch: 4, Label: "CODA"}).Name(); got != "CODA" {
+		t.Errorf("label Name = %q", got)
+	}
+}
+
+func TestBatchedHierarchical(t *testing.T) {
+	cfg := hierCfg() // 4 GPUs x 4 chiplets
+	a := Batched{Batch: 1, Hierarchical: true}.Assign(kernel1D(32), cfg)
+	checkComplete(t, a, 32)
+	// Batches 0..3 go to GPU 0's chiplets 0..3; 4..7 to GPU 1; etc.
+	for tb := 0; tb < 16; tb++ {
+		gpu := tb / 4 % 4
+		chiplet := tb % 4
+		node := gpu*4 + chiplet
+		found := false
+		for _, q := range a.Queues[node] {
+			if q == int32(tb) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("TB %d not on node %d: %v", tb, node, a.Queues)
+		}
+	}
+}
+
+func TestBatchedHierarchicalOnFlatFallsBack(t *testing.T) {
+	cfg := flatCfg() // 1 chiplet per GPU
+	ah := Batched{Batch: 2, Hierarchical: true}.Assign(kernel1D(16), cfg)
+	af := Batched{Batch: 2}.Assign(kernel1D(16), cfg)
+	for n := range ah.Queues {
+		if len(ah.Queues[n]) != len(af.Queues[n]) {
+			t.Fatalf("hier on flat differs from flat: %v vs %v", ah.Queues, af.Queues)
+		}
+		for i := range ah.Queues[n] {
+			if ah.Queues[n][i] != af.Queues[n][i] {
+				t.Fatalf("hier on flat differs from flat")
+			}
+		}
+	}
+}
+
+func TestKernelWide(t *testing.T) {
+	cfg := flatCfg()
+	a := KernelWide{}.Assign(kernel1D(16), cfg)
+	checkComplete(t, a, 16)
+	// Node 0 gets TBs 0..3, node 1 gets 4..7, ...
+	for node := 0; node < 4; node++ {
+		if len(a.Queues[node]) != 4 {
+			t.Fatalf("uneven chunks: %v", a.Queues)
+		}
+		for i, tb := range a.Queues[node] {
+			if int(tb) != node*4+i {
+				t.Errorf("node %d queue: %v", node, a.Queues[node])
+			}
+		}
+	}
+	if (KernelWide{}).Name() != "kernel-wide" {
+		t.Error("name")
+	}
+}
+
+func TestKernelWideUneven(t *testing.T) {
+	cfg := flatCfg()
+	a := KernelWide{}.Assign(kernel1D(10), cfg)
+	checkComplete(t, a, 10)
+	// ceil(10/4) = 3 per node; last node gets the remainder.
+	if len(a.Queues[0]) != 3 || len(a.Queues[3]) != 1 {
+		t.Errorf("uneven split: %v", a.Queues)
+	}
+}
+
+func TestKernelWideFewerTBsThanNodes(t *testing.T) {
+	cfg := hierCfg()
+	a := KernelWide{}.Assign(kernel1D(3), cfg)
+	checkComplete(t, a, 3)
+}
+
+func TestRowBindingFlat(t *testing.T) {
+	cfg := flatCfg()
+	a := RowBinding{}.Assign(kernel2D(8, 8), cfg)
+	checkComplete(t, a, 64)
+	// 8 rows over 4 nodes: rows 0,1 -> node 0; rows 2,3 -> node 1; ...
+	nodeOf := a.NodeOf()
+	for row := 0; row < 8; row++ {
+		want := int32(row / 2)
+		for bx := 0; bx < 8; bx++ {
+			if got := nodeOf[row*8+bx]; got != want {
+				t.Fatalf("TB(%d,%d) on node %d, want %d", bx, row, got, want)
+			}
+		}
+	}
+}
+
+func TestRowBindingHierarchical(t *testing.T) {
+	cfg := hierCfg()
+	a := RowBinding{Hierarchical: true}.Assign(kernel2D(8, 16), cfg)
+	checkComplete(t, a, 128)
+	nodeOf := a.NodeOf()
+	// 16 rows over 4 GPUs: rows 0..3 on GPU 0, rows 4..7 on GPU 1, etc.
+	// Within a GPU rows round-robin chiplets: row r -> chiplet r%4.
+	for row := 0; row < 16; row++ {
+		gpu := row / 4
+		chiplet := row % 4
+		want := int32(gpu*4 + chiplet)
+		if got := nodeOf[row*8]; got != want {
+			t.Errorf("row %d on node %d, want %d", row, got, want)
+		}
+		// Whole row on one node.
+		for bx := 1; bx < 8; bx++ {
+			if nodeOf[row*8+bx] != nodeOf[row*8] {
+				t.Fatalf("row %d split across nodes", row)
+			}
+		}
+	}
+}
+
+func TestColBindingFlat(t *testing.T) {
+	cfg := flatCfg()
+	a := ColBinding{}.Assign(kernel2D(8, 8), cfg)
+	checkComplete(t, a, 64)
+	nodeOf := a.NodeOf()
+	for col := 0; col < 8; col++ {
+		want := int32(col / 2)
+		for row := 0; row < 8; row++ {
+			if got := nodeOf[row*8+col]; got != want {
+				t.Fatalf("TB(%d,%d) on node %d, want %d", col, row, got, want)
+			}
+		}
+	}
+	// Queue order within a column walks rows in order (streaming-friendly).
+	q := a.Queues[0]
+	if q[0] != 0 || q[1] != 8 {
+		t.Errorf("column queue order: %v", q[:4])
+	}
+}
+
+func TestColBindingHierarchical(t *testing.T) {
+	cfg := hierCfg()
+	a := ColBinding{Hierarchical: true}.Assign(kernel2D(16, 4), cfg)
+	checkComplete(t, a, 64)
+	nodeOf := a.NodeOf()
+	for col := 0; col < 16; col++ {
+		gpu := col / 4
+		want := int32(gpu*4 + col%4)
+		if got := nodeOf[col]; got != want {
+			t.Errorf("col %d on node %d, want %d", col, got, want)
+		}
+	}
+}
+
+func TestRowBindingFewRows(t *testing.T) {
+	// 2 rows on a 16-node system: nodes beyond the rows stay idle but all
+	// TBs are placed.
+	cfg := hierCfg()
+	a := RowBinding{}.Assign(kernel2D(32, 2), cfg)
+	checkComplete(t, a, 64)
+}
+
+func TestMonolithicSingleQueue(t *testing.T) {
+	mono := arch.MonolithicGPU()
+	a := KernelWide{}.Assign(kernel1D(100), &mono)
+	checkComplete(t, a, 100)
+	if len(a.Queues) != 1 || len(a.Queues[0]) != 100 {
+		t.Errorf("monolithic queues: %d", len(a.Queues))
+	}
+}
+
+// Property: every scheduler assigns every TB exactly once for random grid
+// shapes and both topologies.
+func TestSchedulersComplete(t *testing.T) {
+	scheds := []Scheduler{
+		Batched{Batch: 1}, Batched{Batch: 8}, Batched{Batch: 4, Hierarchical: true},
+		KernelWide{},
+		RowBinding{}, RowBinding{Hierarchical: true},
+		ColBinding{}, ColBinding{Hierarchical: true},
+	}
+	cfgs := []*arch.Config{hierCfg(), flatCfg()}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gx, gy := 1+r.Intn(40), 1+r.Intn(40)
+		k := kernel2D(gx, gy)
+		for _, cfg := range cfgs {
+			for _, s := range scheds {
+				a := s.Assign(k, cfg)
+				seen := make(map[int32]bool)
+				for node, q := range a.Queues {
+					if node >= cfg.Nodes() {
+						return false
+					}
+					for _, tb := range q {
+						if seen[tb] || int(tb) >= gx*gy {
+							return false
+						}
+						seen[tb] = true
+					}
+				}
+				if len(seen) != gx*gy {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: batched scheduling is load-balanced within one batch across
+// nodes (max-min queue length bounded by one batch).
+func TestBatchedBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := flatCfg()
+		batch := 1 + r.Intn(8)
+		tbs := 1 + r.Intn(500)
+		a := Batched{Batch: batch}.Assign(kernel1D(tbs), cfg)
+		minQ, maxQ := 1<<30, 0
+		for _, q := range a.Queues {
+			if len(q) < minQ {
+				minQ = len(q)
+			}
+			if len(q) > maxQ {
+				maxQ = len(q)
+			}
+		}
+		return maxQ-minQ <= batch
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBindLineEdgeCases(t *testing.T) {
+	cfg := hierCfg()
+	// Fewer lines than GPUs: everything clamps into range.
+	for i := 0; i < 3; i++ {
+		n := BindLine(i, 3, cfg, true)
+		if n < 0 || n >= cfg.Nodes() {
+			t.Fatalf("BindLine(%d,3) = %d out of range", i, n)
+		}
+	}
+	// Flat binding with lines == nodes is the identity.
+	for i := 0; i < cfg.Nodes(); i++ {
+		if got := BindLine(i, cfg.Nodes(), cfg, false); got != i {
+			t.Errorf("flat BindLine(%d) = %d", i, got)
+		}
+	}
+	// Hierarchical binding keeps contiguous groups on one GPU.
+	lines := 64
+	perGPU := lines / cfg.GPUs
+	for i := 0; i < lines; i++ {
+		node := BindLine(i, lines, cfg, true)
+		if cfg.GPUOfNode(node) != i/perGPU {
+			t.Errorf("line %d on GPU %d, want %d", i, cfg.GPUOfNode(node), i/perGPU)
+		}
+	}
+}
+
+// Property: BindLine is monotone in GPU index for hierarchical mode (later
+// lines never land on earlier GPUs).
+func TestBindLineMonotoneGPUs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := hierCfg()
+		n := 1 + r.Intn(200)
+		prevGPU := -1
+		for i := 0; i < n; i++ {
+			node := BindLine(i, n, cfg, true)
+			gpu := cfg.GPUOfNode(node)
+			if gpu < prevGPU {
+				return false
+			}
+			if gpu > prevGPU {
+				prevGPU = gpu
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package stats defines the measurement record of one simulation run and
+// the helpers the benchmark harness uses to assemble the paper's tables
+// and figures: traffic categories (Figure 11), off-node traffic fractions
+// (Figure 10), performance normalization and geometric means (Figures 4
+// and 9), and plain-text table/bar rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// TrafficCat classifies L2 traffic the way the paper's Figure 11 does.
+type TrafficCat int
+
+const (
+	// LocalLocal: request from an in-node SM whose data is homed on the
+	// local DRAM.
+	LocalLocal TrafficCat = iota
+	// LocalRemote: request from an in-node SM whose data is homed on a
+	// remote node (the requester-side lookup of remote data).
+	LocalRemote
+	// RemoteLocal: request arriving from a remote node at the home L2.
+	RemoteLocal
+
+	NumTrafficCats
+)
+
+func (c TrafficCat) String() string {
+	switch c {
+	case LocalLocal:
+		return "LOCAL-LOCAL"
+	case LocalRemote:
+		return "LOCAL-REMOTE"
+	case RemoteLocal:
+		return "REMOTE-LOCAL"
+	default:
+		return fmt.Sprintf("TrafficCat(%d)", int(c))
+	}
+}
+
+// CatCounter tracks sector accesses and hits of one traffic category.
+type CatCounter struct {
+	Sectors uint64 // sectors requested
+	Hits    uint64 // sectors that hit
+}
+
+// HitRate returns the category's sector hit rate.
+func (c CatCounter) HitRate() float64 {
+	if c.Sectors == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Sectors)
+}
+
+// Run is the result of simulating one workload under one policy on one
+// machine.
+type Run struct {
+	Workload string
+	Policy   string
+	Arch     string
+
+	// Cycles is the kernel-time sum (performance = work/cycles).
+	Cycles float64
+	// WarpInstrs counts issued warp instructions (memory + modelled ALU).
+	WarpInstrs uint64
+
+	// L1 aggregate sector counters.
+	L1Sectors, L1Hits uint64
+
+	// L2 traffic by category (aggregated over all L2 slices).
+	L2 [NumTrafficCats]CatCounter
+
+	// L2SectorMisses counts requester-side L2 sector misses (the MPKI
+	// numerator of Table IV).
+	L2SectorMisses uint64
+
+	// Byte movement.
+	LocalBytes        uint64 // SM<->L2 within a node
+	InterChipletBytes uint64 // ring crossings
+	InterGPUBytes     uint64 // switch crossings
+	DRAMBytes         uint64
+
+	// DRAMRowHitRate is the row-buffer locality observed.
+	DRAMRowHitRate float64
+
+	// PageFaults taken (first-touch policies).
+	PageFaults int
+
+	// HostFetches counts host->device page transfers under
+	// oversubscription; HostBytes is the volume moved.
+	HostFetches int
+	HostBytes   uint64
+
+	// Bottleneck diagnostics: the busiest single resource of each class,
+	// in cycles (compare against Cycles to find the saturated level).
+	MaxDRAMBusy  float64
+	MaxRingBusy  float64
+	MaxLinkBusy  float64
+	MaxL2SrvBusy float64
+	MaxIssueBusy float64
+	MaxIntraBusy float64
+
+	// TBs is the number of threadblocks executed.
+	TBs int
+}
+
+// OffNodeBytes returns bytes that crossed a chiplet boundary.
+func (r *Run) OffNodeBytes() uint64 { return r.InterChipletBytes + r.InterGPUBytes }
+
+// OffNodeFraction returns the fraction of memory traffic that left its
+// node — the paper's Figure 10 metric.
+func (r *Run) OffNodeFraction() float64 {
+	total := r.LocalBytes + r.OffNodeBytes()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.OffNodeBytes()) / float64(total)
+}
+
+// MPKI returns L2 sector misses per kilo warp instruction (Table IV).
+func (r *Run) MPKI() float64 {
+	if r.WarpInstrs == 0 {
+		return 0
+	}
+	return float64(r.L2SectorMisses) / float64(r.WarpInstrs) * 1000
+}
+
+// L1HitRate returns the aggregate L1 sector hit rate.
+func (r *Run) L1HitRate() float64 {
+	if r.L1Sectors == 0 {
+		return 0
+	}
+	return float64(r.L1Hits) / float64(r.L1Sectors)
+}
+
+// L2TrafficShare returns each category's share of total L2 traffic
+// (Figure 11's left-hand bars).
+func (r *Run) L2TrafficShare() [NumTrafficCats]float64 {
+	var total uint64
+	for _, c := range r.L2 {
+		total += c.Sectors
+	}
+	var out [NumTrafficCats]float64
+	if total == 0 {
+		return out
+	}
+	for i, c := range r.L2 {
+		out[i] = float64(c.Sectors) / float64(total)
+	}
+	return out
+}
+
+// Speedup returns baseline's cycles divided by r's cycles (how much faster
+// r is than baseline on the same work).
+func (r *Run) Speedup(baseline *Run) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return baseline.Cycles / r.Cycles
+}
+
+// Geomean returns the geometric mean of vs, ignoring non-positive entries.
+func Geomean(vs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range vs {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of vs (0 for empty input).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// --- plain-text rendering for the benchmark harness ---
+
+// Table renders rows as an aligned plain-text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal ASCII bar chart, one bar per label, scaled to
+// width characters at the maximum value.
+func Bars(labels []string, values []float64, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %.3f\n",
+			maxL, labels[i], strings.Repeat("#", n), strings.Repeat(" ", width-n), v)
+	}
+	return b.String()
+}
+
+// Fmt formats a float compactly for table cells.
+func Fmt(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Pct formats a fraction as a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// SortRunsByWorkload orders runs deterministically for reporting.
+func SortRunsByWorkload(runs []*Run) {
+	sort.Slice(runs, func(i, j int) bool {
+		if runs[i].Workload != runs[j].Workload {
+			return runs[i].Workload < runs[j].Workload
+		}
+		return runs[i].Policy < runs[j].Policy
+	})
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTrafficCatStrings(t *testing.T) {
+	if LocalLocal.String() != "LOCAL-LOCAL" ||
+		LocalRemote.String() != "LOCAL-REMOTE" ||
+		RemoteLocal.String() != "REMOTE-LOCAL" {
+		t.Error("traffic category strings wrong")
+	}
+}
+
+func TestCatCounter(t *testing.T) {
+	c := CatCounter{Sectors: 100, Hits: 25}
+	if c.HitRate() != 0.25 {
+		t.Errorf("hit rate = %f", c.HitRate())
+	}
+	if (CatCounter{}).HitRate() != 0 {
+		t.Error("empty counter hit rate")
+	}
+}
+
+func TestRunDerivedMetrics(t *testing.T) {
+	r := &Run{
+		Cycles:            1000,
+		WarpInstrs:        2000,
+		L2SectorMisses:    500,
+		LocalBytes:        600,
+		InterChipletBytes: 300,
+		InterGPUBytes:     100,
+		L1Sectors:         100,
+		L1Hits:            80,
+	}
+	if got := r.MPKI(); got != 250 {
+		t.Errorf("MPKI = %f, want 250", got)
+	}
+	if got := r.OffNodeBytes(); got != 400 {
+		t.Errorf("OffNodeBytes = %d", got)
+	}
+	if got := r.OffNodeFraction(); got != 0.4 {
+		t.Errorf("OffNodeFraction = %f", got)
+	}
+	if got := r.L1HitRate(); got != 0.8 {
+		t.Errorf("L1HitRate = %f", got)
+	}
+	base := &Run{Cycles: 2000}
+	if got := r.Speedup(base); got != 2 {
+		t.Errorf("Speedup = %f", got)
+	}
+	var zero Run
+	if zero.MPKI() != 0 || zero.OffNodeFraction() != 0 || zero.L1HitRate() != 0 {
+		t.Error("zero run should yield zero metrics")
+	}
+	if zero.Speedup(base) != 0 {
+		t.Error("zero-cycle speedup should be 0")
+	}
+}
+
+func TestL2TrafficShare(t *testing.T) {
+	r := &Run{}
+	r.L2[LocalLocal] = CatCounter{Sectors: 50}
+	r.L2[LocalRemote] = CatCounter{Sectors: 30}
+	r.L2[RemoteLocal] = CatCounter{Sectors: 20}
+	share := r.L2TrafficShare()
+	if share[LocalLocal] != 0.5 || share[LocalRemote] != 0.3 || share[RemoteLocal] != 0.2 {
+		t.Errorf("shares = %v", share)
+	}
+	var empty Run
+	if s := empty.L2TrafficShare(); s[LocalLocal] != 0 {
+		t.Error("empty run share should be zero")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Geomean(2,8) = %f", got)
+	}
+	if got := Geomean([]float64{5}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Geomean(5) = %f", got)
+	}
+	// Non-positive entries are skipped.
+	if got := Geomean([]float64{0, -1, 4}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Geomean with zeros = %f", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %f", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %f", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %f", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	s := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22222"},
+	})
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "22222") {
+		t.Errorf("table missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table line count = %d", len(lines))
+	}
+	// Header columns align with rows.
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestBars(t *testing.T) {
+	s := Bars([]string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bars line count = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Errorf("half bar wrong: %q", lines[0])
+	}
+	// Degenerate inputs must not panic.
+	_ = Bars([]string{"x"}, []float64{0}, 0)
+}
+
+func TestFmtAndPct(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1234:   "1234",
+		56.789: "56.8",
+		1.234:  "1.23",
+	}
+	for v, want := range cases {
+		if got := Fmt(v); got != want {
+			t.Errorf("Fmt(%f) = %q, want %q", v, got, want)
+		}
+	}
+	if got := Pct(0.123); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestSortRuns(t *testing.T) {
+	runs := []*Run{
+		{Workload: "b", Policy: "y"},
+		{Workload: "a", Policy: "z"},
+		{Workload: "a", Policy: "x"},
+	}
+	SortRunsByWorkload(runs)
+	if runs[0].Workload != "a" || runs[0].Policy != "x" || runs[2].Workload != "b" {
+		t.Errorf("sort order wrong: %+v", runs)
+	}
+}

@@ -1,0 +1,187 @@
+package symbolic
+
+import "fmt"
+
+// Env supplies concrete values for the prime variables when evaluating an
+// expression. The zero value is usable: all variables evaluate to zero and
+// indirect loads resolve to zero.
+type Env struct {
+	Tid  [3]int64 // threadIdx.{x,y,z}
+	Bid  [3]int64 // blockIdx.{x,y,z}
+	BDim [3]int64 // blockDim.{x,y,z}
+	GDim [3]int64 // gridDim.{x,y,z}
+	M    int64    // outer-loop induction variable
+
+	// Params holds launch-time constants that were not substituted away.
+	Params map[string]int64
+
+	// Resolve supplies values for Indirect nodes: the element loaded from
+	// the named table at the given index. A nil Resolve yields zero.
+	Resolve func(table string, index int64) int64
+}
+
+// Value returns the value of a variable kind under the environment.
+func (env *Env) Value(v Var) int64 {
+	switch v.Kind {
+	case TidX, TidY, TidZ:
+		return env.Tid[v.Kind-TidX]
+	case BidX, BidY, BidZ:
+		return env.Bid[v.Kind-BidX]
+	case BDimX, BDimY, BDimZ:
+		return env.BDim[v.Kind-BDimX]
+	case GDimX, GDimY, GDimZ:
+		return env.GDim[v.Kind-GDimX]
+	case Induction:
+		return env.M
+	case ParamVar:
+		return env.Params[v.Name]
+	default:
+		panic(fmt.Sprintf("symbolic: unknown variable kind %v", v.Kind))
+	}
+}
+
+// Eval evaluates e under env. Division by zero in Div/Mod nodes evaluates
+// to zero rather than panicking: synthetic traces must stay total even for
+// degenerate launch parameters.
+func Eval(e Expr, env *Env) int64 {
+	switch t := e.(type) {
+	case Const:
+		return int64(t)
+	case Var:
+		return env.Value(t)
+	case Add:
+		var sum int64
+		for _, op := range t {
+			sum += Eval(op, env)
+		}
+		return sum
+	case Mul:
+		prod := int64(1)
+		for _, op := range t {
+			prod *= Eval(op, env)
+		}
+		return prod
+	case Neg:
+		return -Eval(t.X, env)
+	case Indirect:
+		idx := Eval(t.Inner, env)
+		if env.Resolve == nil {
+			return 0
+		}
+		return env.Resolve(t.Table, idx)
+	case Div:
+		den := Eval(t.Den, env)
+		if den == 0 {
+			return 0
+		}
+		return Eval(t.Num, env) / den
+	case Mod:
+		den := Eval(t.Den, env)
+		if den == 0 {
+			return 0
+		}
+		return Eval(t.Num, env) % den
+	default:
+		panic(fmt.Sprintf("symbolic: unknown expression type %T", e))
+	}
+}
+
+// Compiled is an expression compiled into a closure tree. Trace generation
+// evaluates the same expression millions of times, so we pay the tree walk
+// once at compile time.
+type Compiled func(env *Env) int64
+
+// Compile translates e into a Compiled evaluator with the same semantics as
+// Eval.
+func Compile(e Expr) Compiled {
+	switch t := e.(type) {
+	case Const:
+		v := int64(t)
+		return func(*Env) int64 { return v }
+	case Var:
+		v := t
+		switch v.Kind {
+		case TidX, TidY, TidZ:
+			i := v.Kind - TidX
+			return func(env *Env) int64 { return env.Tid[i] }
+		case BidX, BidY, BidZ:
+			i := v.Kind - BidX
+			return func(env *Env) int64 { return env.Bid[i] }
+		case BDimX, BDimY, BDimZ:
+			i := v.Kind - BDimX
+			return func(env *Env) int64 { return env.BDim[i] }
+		case GDimX, GDimY, GDimZ:
+			i := v.Kind - GDimX
+			return func(env *Env) int64 { return env.GDim[i] }
+		case Induction:
+			return func(env *Env) int64 { return env.M }
+		default:
+			name := v.Name
+			return func(env *Env) int64 { return env.Params[name] }
+		}
+	case Add:
+		ops := make([]Compiled, len(t))
+		for i, op := range t {
+			ops[i] = Compile(op)
+		}
+		if len(ops) == 2 {
+			a, b := ops[0], ops[1]
+			return func(env *Env) int64 { return a(env) + b(env) }
+		}
+		return func(env *Env) int64 {
+			var sum int64
+			for _, op := range ops {
+				sum += op(env)
+			}
+			return sum
+		}
+	case Mul:
+		ops := make([]Compiled, len(t))
+		for i, op := range t {
+			ops[i] = Compile(op)
+		}
+		if len(ops) == 2 {
+			a, b := ops[0], ops[1]
+			return func(env *Env) int64 { return a(env) * b(env) }
+		}
+		return func(env *Env) int64 {
+			prod := int64(1)
+			for _, op := range ops {
+				prod *= op(env)
+			}
+			return prod
+		}
+	case Neg:
+		x := Compile(t.X)
+		return func(env *Env) int64 { return -x(env) }
+	case Indirect:
+		inner := Compile(t.Inner)
+		table := t.Table
+		return func(env *Env) int64 {
+			if env.Resolve == nil {
+				return 0
+			}
+			return env.Resolve(table, inner(env))
+		}
+	case Div:
+		num, den := Compile(t.Num), Compile(t.Den)
+		return func(env *Env) int64 {
+			d := den(env)
+			if d == 0 {
+				return 0
+			}
+			return num(env) / d
+		}
+	case Mod:
+		num, den := Compile(t.Num), Compile(t.Den)
+		return func(env *Env) int64 {
+			d := den(env)
+			if d == 0 {
+				return 0
+			}
+			return num(env) % d
+		}
+	default:
+		panic(fmt.Sprintf("symbolic: unknown expression type %T", e))
+	}
+}

@@ -1,0 +1,264 @@
+package symbolic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse builds an expression from CUDA-style index arithmetic, the textual
+// front door to the analyzer:
+//
+//	(by*16+ty)*WIDTH + m*16 + tx
+//	cols[rowptr[v] + m]
+//	(gid + off) % N * 19 + m
+//
+// Grammar (precedence low to high):
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := unary (('*'|'/'|'%') unary)*
+//	unary  := '-' unary | atom
+//	atom   := number | ident | ident '[' expr ']' | '(' expr ')'
+//
+// Identifiers: tid.x/tid.y/tid.z (aliases tx,ty,tz), bid.x/... (bx,by,bz),
+// bDim.x/... (bdx,bdy,bdz), gDim.x/... (gdx,gdy,gdz), m (the induction
+// variable), gid (shorthand for bid.x*bDim.x+tid.x). Any other identifier
+// is a launch parameter; an identifier followed by '[' is a data-dependent
+// table lookup (an Indirect node).
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	p.next()
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %q after expression", p.tok.text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for tests and static initializers; it panics on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokIdent
+	tokOp     // + - * / %
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	src string
+	pos int
+	tok token
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("symbolic: parse error at %d in %q: %s",
+		p.tok.pos, p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.src) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.src[p.pos]
+	switch {
+	case c >= '0' && c <= '9':
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		p.tok = token{kind: tokNumber, text: p.src[start:p.pos], pos: start}
+	case isIdentRune(rune(c), true):
+		for p.pos < len(p.src) && isIdentRune(rune(p.src[p.pos]), false) {
+			p.pos++
+		}
+		p.tok = token{kind: tokIdent, text: p.src[start:p.pos], pos: start}
+	default:
+		p.pos++
+		switch c {
+		case '+', '-', '*', '/', '%':
+			p.tok = token{kind: tokOp, text: string(c), pos: start}
+		case '(':
+			p.tok = token{kind: tokLParen, text: "(", pos: start}
+		case ')':
+			p.tok = token{kind: tokRParen, text: ")", pos: start}
+		case '[':
+			p.tok = token{kind: tokLBrack, text: "[", pos: start}
+		case ']':
+			p.tok = token{kind: tokRBrack, text: "]", pos: start}
+		default:
+			p.tok = token{kind: tokEOF, text: string(c), pos: start}
+			p.pos = len(p.src) + 1 // force error at caller
+		}
+	}
+}
+
+func isIdentRune(r rune, first bool) bool {
+	if unicode.IsLetter(r) || r == '_' {
+		return true
+	}
+	// Dotted prime variables (tid.x) and digits inside identifiers.
+	return !first && (r == '.' || unicode.IsDigit(r))
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if op == "-" {
+			right = Neg{X: right}
+		}
+		left = Sum(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/" || p.tok.text == "%") {
+		op := p.tok.text
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "*":
+			left = Prod(left, right)
+		case "/":
+			left = Quot(left, right)
+		default:
+			left = Rem(left, right)
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.kind == tokOp && p.tok.text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Neg{X: x}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		v, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", p.tok.text)
+		}
+		p.next()
+		return Const(v), nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("missing )")
+		}
+		p.next()
+		return e, nil
+	case tokIdent:
+		name := p.tok.text
+		p.next()
+		if p.tok.kind == tokLBrack {
+			p.next()
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokRBrack {
+				return nil, p.errorf("missing ] after %s[", name)
+			}
+			p.next()
+			return Ind(name, inner), nil
+		}
+		return identExpr(name), nil
+	case tokEOF:
+		return nil, p.errorf("unexpected end of expression")
+	default:
+		return nil, p.errorf("unexpected %q", p.tok.text)
+	}
+}
+
+// identExpr resolves an identifier to a prime variable, the gid shorthand,
+// or a launch parameter.
+func identExpr(name string) Expr {
+	switch strings.ToLower(name) {
+	case "tid.x", "tx", "threadidx.x":
+		return Tx
+	case "tid.y", "ty", "threadidx.y":
+		return Ty
+	case "tid.z", "tz", "threadidx.z":
+		return Tz
+	case "bid.x", "bx", "blockidx.x":
+		return Bx
+	case "bid.y", "by", "blockidx.y":
+		return By
+	case "bid.z", "bz", "blockidx.z":
+		return Bz
+	case "bdim.x", "bdx", "blockdim.x":
+		return BDx
+	case "bdim.y", "bdy", "blockdim.y":
+		return BDy
+	case "bdim.z", "bdz", "blockdim.z":
+		return BDz
+	case "gdim.x", "gdx", "griddim.x":
+		return GDx
+	case "gdim.y", "gdy", "griddim.y":
+		return GDy
+	case "gdim.z", "gdz", "griddim.z":
+		return GDz
+	case "m":
+		return M
+	case "gid":
+		return Sum(Prod(Bx, BDx), Tx)
+	default:
+		return P(name)
+	}
+}
