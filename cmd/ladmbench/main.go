@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"ladm/internal/experiments"
+	"ladm/internal/kernels"
+	"ladm/internal/simsvc"
 )
 
 func main() {
@@ -31,14 +33,28 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = all CPUs)")
 	workloads := flag.String("workloads", "", "comma-separated workload subset")
 	csvPath := flag.String("csv", "", "append structured metric values to a CSV file")
+	metrics := flag.Bool("metrics", false, "print pool metrics (Prometheus text) after the run")
 	flag.Parse()
 
-	o := experiments.Options{Scale: *scale, Workers: *workers}
+	// One pool serves every experiment of the campaign, so queueing,
+	// backpressure and the metrics below span the whole run.
+	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: *workers})
+	defer pool.Close()
+
+	o := experiments.Options{Scale: *scale, Workers: *workers, Runner: pool}
 	if *full {
 		o.Scale = 1
 	}
 	if *workloads != "" {
 		o.Workloads = strings.Split(*workloads, ",")
+		// Validate up front: some experiments (fig11, oversub, scaling)
+		// pin their own workload set and would silently ignore a typo.
+		for _, name := range o.Workloads {
+			if _, err := kernels.ByName(name, o.Scale); err != nil {
+				fmt.Fprintf(os.Stderr, "ladmbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	names := []string{*exp}
@@ -60,6 +76,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if *metrics {
+		pool.Metrics().WriteProm(os.Stdout)
 	}
 }
 

@@ -1,0 +1,71 @@
+// Command ladmserve runs the LADM simulation service: an HTTP front end
+// over the internal/simsvc worker pool, result cache and metrics.
+//
+// Usage:
+//
+//	ladmserve                      # listen on :8080, GOMAXPROCS workers
+//	ladmserve -addr :9000 -workers 4 -queue 64
+//
+// Endpoints:
+//
+//	POST /run      run one simulation
+//	               {"workload":"sq-gemm","policy":"ladm","machine":"hier","scale":6}
+//	               add "async":true for 202 + a job id to poll
+//	POST /sweep    run a workload x policy x machine cross product
+//	               {"workloads":["vecadd"],"policies":["h-coda","ladm"]}
+//	GET  /jobs     every tracked job
+//	GET  /jobs/{id}
+//	GET  /metrics  Prometheus text format
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ladm/internal/simsvc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = all CPUs)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
+	flag.Parse()
+
+	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: *workers, QueueDepth: *queue})
+	defer pool.Close()
+	server := simsvc.NewServer(pool)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(server.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		log.Println("ladmserve: shutting down")
+		httpSrv.Close()
+	}()
+
+	log.Printf("ladmserve: listening on %s (%d workers)", *addr, pool.Workers())
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "ladmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

@@ -6,6 +6,7 @@
 //
 //	ladmsim -workload sq-gemm -policy ladm
 //	ladmsim -workload pagerank -policy h-coda -arch monolithic -scale 4
+//	ladmsim -workload vecadd -json
 //	ladmsim -list
 //
 // Machines: hier (Table III), hier-perlink (per-hop ring links),
@@ -13,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,53 +24,23 @@ import (
 	"ladm/internal/core"
 	"ladm/internal/kernels"
 	rt "ladm/internal/runtime"
+	"ladm/internal/simsvc"
 	"ladm/internal/stats"
 )
-
-func machine(name string) (arch.Config, error) {
-	switch name {
-	case "hier":
-		return arch.DefaultHierarchical(), nil
-	case "hier-perlink":
-		c := arch.DefaultHierarchical()
-		c.PerLinkRing = true
-		c.Name = "hier-4x4-perlink"
-		return c, nil
-	case "monolithic":
-		return arch.MonolithicGPU(), nil
-	case "xbar-90":
-		return arch.FourGPUSwitch(90), nil
-	case "xbar-180":
-		return arch.FourGPUSwitch(180), nil
-	case "xbar-360":
-		return arch.FourGPUSwitch(360), nil
-	case "ring-1400":
-		return arch.FourChipletRing(1400), nil
-	case "ring-2800":
-		return arch.FourChipletRing(2800), nil
-	case "dgx":
-		return arch.DGXLike(), nil
-	default:
-		return arch.Config{}, fmt.Errorf("unknown machine %q", name)
-	}
-}
 
 func main() {
 	workload := flag.String("workload", "vecadd", "workload name")
 	policy := flag.String("policy", "ladm", "management policy")
 	machineName := flag.String("arch", "hier", "machine configuration")
 	scale := flag.Int("scale", 6, "input scale divisor (1 = paper size)")
+	jsonOut := flag.Bool("json", false, "print the full measurement record as JSON")
 	list := flag.Bool("list", false, "list workloads and policies")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(kernels.Names(), " "))
-		var pols []string
-		for _, p := range rt.All() {
-			pols = append(pols, p.Name)
-		}
-		fmt.Println("policies: ", strings.Join(pols, " "))
-		fmt.Println("machines:  hier hier-perlink monolithic xbar-90 xbar-180 xbar-360 ring-1400 ring-2800 dgx")
+		fmt.Println("policies: ", strings.Join(rt.Names(), " "))
+		fmt.Println("machines: ", strings.Join(arch.Names(), " "))
 		return
 	}
 
@@ -84,13 +56,24 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg, err := machine(*machineName)
+	cfg, err := arch.ByName(*machineName)
 	if err != nil {
 		fail(err)
 	}
 	run, err := core.Simulate(spec.W, cfg, pol)
 	if err != nil {
 		fail(err)
+	}
+
+	if *jsonOut {
+		// The same schema ladmserve returns: the raw record plus derived
+		// headline metrics.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(simsvc.NewRunPayload(run)); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	fmt.Printf("%s on %s under %s (scale 1/%d)\n\n", run.Workload, run.Arch, run.Policy, *scale)

@@ -9,7 +9,10 @@
 // bytes per core-clock cycle internally.
 package arch
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Config is a complete description of a simulated machine.
 type Config struct {
@@ -282,4 +285,49 @@ func DGXLike() Config {
 	c.InterGPUGBs = 100
 	c.PageBytes = 4096
 	return c
+}
+
+// --- named machine registry ---
+
+// machines maps the stable machine names used by the CLI tools and the
+// simulation service to their configuration constructors, in
+// presentation order.
+var machines = []struct {
+	name  string
+	build func() Config
+}{
+	{"hier", DefaultHierarchical},
+	{"hier-perlink", func() Config {
+		c := DefaultHierarchical()
+		c.PerLinkRing = true
+		c.Name = "hier-4x4-perlink"
+		return c
+	}},
+	{"monolithic", MonolithicGPU},
+	{"xbar-90", func() Config { return FourGPUSwitch(90) }},
+	{"xbar-180", func() Config { return FourGPUSwitch(180) }},
+	{"xbar-360", func() Config { return FourGPUSwitch(360) }},
+	{"ring-1400", func() Config { return FourChipletRing(1400) }},
+	{"ring-2800", func() Config { return FourChipletRing(2800) }},
+	{"dgx", DGXLike},
+}
+
+// Names lists the registered machine names in presentation order.
+func Names() []string {
+	out := make([]string, len(machines))
+	for i, m := range machines {
+		out[i] = m.name
+	}
+	return out
+}
+
+// ByName builds the machine configuration registered under name.
+func ByName(name string) (Config, error) {
+	for _, m := range machines {
+		if m.name == name {
+			return m.build(), nil
+		}
+	}
+	return Config{}, fmt.Errorf("arch: unknown machine %q (valid: %s)",
+		name, strings.Join(Names(), " "))
 }

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"ladm/internal/core"
 	"ladm/internal/kernels"
 	rt "ladm/internal/runtime"
+	"ladm/internal/simsvc"
 	"ladm/internal/stats"
 )
 
@@ -28,6 +30,11 @@ type Options struct {
 	Workers int
 	// Workloads restricts the workload set (nil = all 27).
 	Workloads []string
+	// Runner executes the simulation sweeps. Nil means a transient
+	// simsvc worker pool of Workers workers per sweep; callers that run
+	// several experiments (cmd/ladmbench, the service) pass one shared
+	// pool so queueing and metrics span the whole campaign.
+	Runner simsvc.Runner
 }
 
 // DefaultOptions returns the fast-run defaults used by the harness.
@@ -79,7 +86,13 @@ func runMatrix(specs []*kernels.Spec, cells []core.Job, o Options) (map[string][
 			})
 		}
 	}
-	runs, err := core.Sweep(jobs, o.Workers)
+	runner := o.Runner
+	if runner == nil {
+		pool := simsvc.NewPool(simsvc.PoolConfig{Workers: o.Workers})
+		defer pool.Close()
+		runner = pool
+	}
+	runs, err := runner.Sweep(context.Background(), jobs)
 	if err != nil {
 		return nil, err
 	}

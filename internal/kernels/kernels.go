@@ -15,6 +15,7 @@ package kernels
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"ladm/internal/kir"
 	sym "ladm/internal/symbolic"
@@ -63,7 +64,8 @@ func Names() []string {
 func ByName(name string, scale int) (*Spec, error) {
 	b, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("kernels: unknown workload %q", name)
+		return nil, fmt.Errorf("kernels: unknown workload %q (valid: %s)",
+			name, strings.Join(Names(), " "))
 	}
 	return b(clampScale(scale)), nil
 }

@@ -7,7 +7,10 @@
 // gets (the compiler-assisted remote-request bypassing of Section III-E).
 package runtime
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // PlacementKind selects the page-placement strategy of a policy.
 type PlacementKind int
@@ -205,6 +208,16 @@ func All() []Policy {
 	}
 }
 
+// Names lists the policy preset names in presentation order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Name
+	}
+	return out
+}
+
 // ByName returns the preset with the given name.
 func ByName(name string) (Policy, error) {
 	for _, p := range All() {
@@ -212,5 +225,6 @@ func ByName(name string) (Policy, error) {
 			return p, nil
 		}
 	}
-	return Policy{}, fmt.Errorf("runtime: unknown policy %q", name)
+	return Policy{}, fmt.Errorf("runtime: unknown policy %q (valid: %s)",
+		name, strings.Join(Names(), " "))
 }

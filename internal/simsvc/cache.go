@@ -1,0 +1,102 @@
+package simsvc
+
+import (
+	"context"
+	"sync"
+
+	"ladm/internal/stats"
+)
+
+// Cache is an in-memory result cache keyed by JobKey with single-flight
+// deduplication: concurrent Do calls for the same key run the underlying
+// job once and share the record. Errors are not cached, so a failed job
+// can be retried.
+type Cache struct {
+	metrics *Metrics
+
+	mu      sync.Mutex
+	entries map[JobKey]*cacheEntry
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed when the flight lands
+	run  *stats.Run
+	err  error
+}
+
+// NewCache returns an empty cache reporting hits to metrics (nil: a
+// fresh set).
+func NewCache(m *Metrics) *Cache {
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &Cache{metrics: m, entries: map[JobKey]*cacheEntry{}}
+}
+
+// Get returns the completed record cached under key, if any.
+func (c *Cache) Get(key JobKey) (*stats.Run, bool) {
+	c.mu.Lock()
+	e := c.entries[key]
+	c.mu.Unlock()
+	if e == nil {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		return e.run, e.err == nil
+	default:
+		return nil, false // still in flight
+	}
+}
+
+// Put stores a completed record under key (used by asynchronous
+// submission paths that bypass Do).
+func (c *Cache) Put(key JobKey, run *stats.Run) {
+	e := &cacheEntry{done: make(chan struct{}), run: run}
+	close(e.done)
+	c.mu.Lock()
+	c.entries[key] = e
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached or in-flight entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Do returns the record cached under key, or runs fn once to produce it.
+// Concurrent calls with the same key share one flight: the first caller
+// executes fn, the rest wait for it (or for their own ctx). cached
+// reports whether the result came from a previous or concurrent flight.
+func (c *Cache) Do(ctx context.Context, key JobKey, fn func() (*stats.Run, error)) (run *stats.Run, cached bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err != nil {
+				// The flight we joined failed; report its error without
+				// caching it (the entry was already removed).
+				return nil, false, e.err
+			}
+			c.metrics.cached.Add(1)
+			return e.run, true, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.run, e.err = fn()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.run, false, e.err
+}

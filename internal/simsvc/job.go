@@ -1,0 +1,132 @@
+// Package simsvc is the simulation-job subsystem: it turns the LADM
+// pipeline of internal/core into a schedulable service. A simulation
+// request is a pure value (workload, policy, machine, scale) with a
+// deterministic content-hash JobKey; a worker pool sized to GOMAXPROCS
+// executes jobs with bounded queueing, per-job panic recovery and
+// context-based cancellation; an in-memory result cache with
+// single-flight deduplication makes identical concurrent requests run
+// once; and a metrics layer renders Prometheus-style text counters.
+// cmd/ladmserve exposes the whole thing over HTTP, and
+// internal/experiments submits its figure sweeps through the pool.
+package simsvc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"ladm/internal/arch"
+	"ladm/internal/core"
+	"ladm/internal/kernels"
+	rt "ladm/internal/runtime"
+	"ladm/internal/stats"
+)
+
+// DefaultScale is the input-scale divisor assumed when a request leaves
+// Scale unset, matching the fast-run default of the CLI tools.
+const DefaultScale = 6
+
+// Request names one simulation as a pure value: a registered workload,
+// policy and machine plus the input scale divisor. Two requests with the
+// same normalized fields are the same job and share a JobKey.
+type Request struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+	Machine  string `json:"machine"`
+	// Scale is the input scale divisor (1 = paper-size inputs);
+	// 0 means DefaultScale.
+	Scale int `json:"scale,omitempty"`
+}
+
+// Normalize fills defaulted fields so that equal jobs hash equally.
+func (r Request) Normalize() Request {
+	if r.Policy == "" {
+		r.Policy = "ladm"
+	}
+	if r.Machine == "" {
+		r.Machine = "hier"
+	}
+	if r.Scale <= 0 {
+		r.Scale = DefaultScale
+	}
+	return r
+}
+
+// JobKey is the deterministic content hash identifying a normalized
+// Request; it keys the result cache.
+type JobKey [sha256.Size]byte
+
+func (k JobKey) String() string { return hex.EncodeToString(k[:]) }
+
+// keySchema versions the hash layout: bump it if the fields feeding the
+// hash (or the simulator's observable outputs) change meaning.
+const keySchema = "simsvc/v1"
+
+// Key returns the request's content hash.
+func (r Request) Key() JobKey {
+	r = r.Normalize()
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%d",
+		keySchema, r.Workload, r.Policy, r.Machine, r.Scale)
+	var k JobKey
+	h.Sum(k[:0])
+	return k
+}
+
+// Resolve looks the request's names up in the workload, policy and
+// machine registries and returns the executable job. Unknown names
+// produce errors that list the valid options.
+func (r Request) Resolve() (core.Job, error) {
+	r = r.Normalize()
+	spec, err := kernels.ByName(r.Workload, r.Scale)
+	if err != nil {
+		return core.Job{}, err
+	}
+	pol, err := rt.ByName(r.Policy)
+	if err != nil {
+		return core.Job{}, err
+	}
+	cfg, err := arch.ByName(r.Machine)
+	if err != nil {
+		return core.Job{}, err
+	}
+	return core.Job{Workload: spec.W, Policy: pol, Arch: cfg}, nil
+}
+
+// Derived holds the headline metrics computed from a raw record, so JSON
+// consumers need not re-implement the formulas.
+type Derived struct {
+	L1HitRate       float64                         `json:"l1_hit_rate"`
+	MPKI            float64                         `json:"mpki"`
+	OffNodeFraction float64                         `json:"off_node_fraction"`
+	OffNodeBytes    uint64                          `json:"off_node_bytes"`
+	L2TrafficShare  [stats.NumTrafficCats]float64   `json:"l2_traffic_share"`
+	L2HitRates      [stats.NumTrafficCats]float64   `json:"l2_hit_rates"`
+}
+
+// RunPayload is the JSON shape of one simulation result, shared by
+// `ladmserve` responses and `ladmsim -json`: the full measurement record
+// plus the derived headline metrics.
+type RunPayload struct {
+	*stats.Run
+	Derived Derived `json:"derived"`
+}
+
+// NewRunPayload wraps a record with its derived metrics.
+func NewRunPayload(r *stats.Run) RunPayload {
+	var hits [stats.NumTrafficCats]float64
+	for c := stats.TrafficCat(0); c < stats.NumTrafficCats; c++ {
+		hits[c] = r.L2[c].HitRate()
+	}
+	return RunPayload{
+		Run: r,
+		Derived: Derived{
+			L1HitRate:       r.L1HitRate(),
+			MPKI:            r.MPKI(),
+			OffNodeFraction: r.OffNodeFraction(),
+			OffNodeBytes:    r.OffNodeBytes(),
+			L2TrafficShare:  r.L2TrafficShare(),
+			L2HitRates:      hits,
+		},
+	}
+}

@@ -1,0 +1,102 @@
+package simsvc
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the pool's and cache's observability counters. All
+// methods are safe for concurrent use; a zero value is not usable — call
+// NewMetrics.
+type Metrics struct {
+	submitted atomic.Int64 // jobs accepted into the queue
+	started   atomic.Int64 // jobs a worker began executing
+	completed atomic.Int64 // jobs that produced a record
+	failed    atomic.Int64 // jobs that returned an error or panicked
+	canceled  atomic.Int64 // jobs whose context expired before running
+	cached    atomic.Int64 // requests served from the result cache
+	depth     atomic.Int64 // current queue depth (gauge)
+	workers   atomic.Int64 // pool size (gauge)
+
+	mu        sync.Mutex
+	wallSecs  float64 // summed per-job wall time
+	wallMax   float64 // longest single job
+	simCycles float64 // summed simulated cycles of completed jobs
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+func (m *Metrics) jobDone(wall time.Duration, cycles float64) {
+	secs := wall.Seconds()
+	m.mu.Lock()
+	m.wallSecs += secs
+	if secs > m.wallMax {
+		m.wallMax = secs
+	}
+	m.simCycles += cycles
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of every metric, for tests and
+// programmatic consumers.
+type Snapshot struct {
+	Submitted, Started, Completed, Failed, Canceled, Cached int64
+	QueueDepth, Workers                                     int64
+	WallSeconds, WallMaxSeconds, SimCycles                  float64
+	// CyclesPerSecond is simulated cycles per wall-second of job
+	// execution (0 until a job completes).
+	CyclesPerSecond float64
+}
+
+// Snapshot returns the current values.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	wall, wallMax, cycles := m.wallSecs, m.wallMax, m.simCycles
+	m.mu.Unlock()
+	s := Snapshot{
+		Submitted:      m.submitted.Load(),
+		Started:        m.started.Load(),
+		Completed:      m.completed.Load(),
+		Failed:         m.failed.Load(),
+		Canceled:       m.canceled.Load(),
+		Cached:         m.cached.Load(),
+		QueueDepth:     m.depth.Load(),
+		Workers:        m.workers.Load(),
+		WallSeconds:    wall,
+		WallMaxSeconds: wallMax,
+		SimCycles:      cycles,
+	}
+	if wall > 0 {
+		s.CyclesPerSecond = cycles / wall
+	}
+	return s
+}
+
+// WriteProm renders the metrics in Prometheus text exposition format.
+func (m *Metrics) WriteProm(w io.Writer) {
+	s := m.Snapshot()
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("simsvc_jobs_submitted_total", "Jobs accepted into the queue.", float64(s.Submitted))
+	counter("simsvc_jobs_started_total", "Jobs a worker began executing.", float64(s.Started))
+	counter("simsvc_jobs_completed_total", "Jobs that produced a record.", float64(s.Completed))
+	counter("simsvc_jobs_failed_total", "Jobs that errored or panicked.", float64(s.Failed))
+	counter("simsvc_jobs_canceled_total", "Jobs canceled before execution.", float64(s.Canceled))
+	counter("simsvc_jobs_cached_total", "Requests served from the result cache.", float64(s.Cached))
+	gauge("simsvc_queue_depth", "Jobs currently queued.", float64(s.QueueDepth))
+	gauge("simsvc_workers", "Worker goroutines in the pool.", float64(s.Workers))
+	fmt.Fprintf(w, "# HELP simsvc_job_wall_seconds Per-job wall time.\n# TYPE simsvc_job_wall_seconds summary\n")
+	fmt.Fprintf(w, "simsvc_job_wall_seconds_sum %g\n", s.WallSeconds)
+	fmt.Fprintf(w, "simsvc_job_wall_seconds_count %d\n", s.Started)
+	gauge("simsvc_job_wall_seconds_max", "Longest single job.", s.WallMaxSeconds)
+	counter("simsvc_simulated_cycles_total", "Simulated GPU cycles across completed jobs.", s.SimCycles)
+	gauge("simsvc_simulated_cycles_per_second", "Simulated cycles per wall-second of execution.", s.CyclesPerSecond)
+}

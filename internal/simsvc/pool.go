@@ -1,0 +1,323 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ladm/internal/core"
+	"ladm/internal/stats"
+)
+
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue has no
+	// free slot — the backpressure signal (HTTP callers map it to 503).
+	ErrQueueFull = errors.New("simsvc: job queue full")
+	// ErrPoolClosed is returned for submissions after Close.
+	ErrPoolClosed = errors.New("simsvc: pool closed")
+)
+
+// Runner executes a batch of simulation jobs and returns their records
+// in job order. Pool and Sequential both implement it; experiment sweeps
+// are written against this interface.
+type Runner interface {
+	Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error)
+}
+
+// SimulateFunc executes one job. The default is the full LADM pipeline
+// (core.Simulate); tests substitute fakes.
+type SimulateFunc func(ctx context.Context, job core.Job) (*stats.Run, error)
+
+// PoolConfig sizes a worker pool.
+type PoolConfig struct {
+	// Workers is the number of concurrent simulations (<=0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (<=0: 4x Workers). A full queue makes Submit fail with
+	// ErrQueueFull and Exec block.
+	QueueDepth int
+	// Simulate overrides the job executor (nil: the LADM pipeline).
+	Simulate SimulateFunc
+	// Metrics receives the pool's counters (nil: a fresh set).
+	Metrics *Metrics
+}
+
+// Pool is a fixed-size worker pool executing simulation jobs from a
+// bounded queue. A job that panics fails alone; the pool and its other
+// jobs keep running.
+type Pool struct {
+	simulate SimulateFunc
+	metrics  *Metrics
+	queue    chan *Task
+	done     chan struct{}
+	wg       sync.WaitGroup
+	closing  sync.Once
+	workers  int
+}
+
+// Task is one submitted job. Wait on Done(), then read Result.
+type Task struct {
+	Job core.Job
+
+	ctx  context.Context
+	done chan struct{}
+	run  *stats.Run
+	err  error
+}
+
+// Done is closed when the task has finished (successfully or not).
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Result returns the record and error once Done is closed. Calling it
+// earlier returns an error.
+func (t *Task) Result() (*stats.Run, error) {
+	select {
+	case <-t.done:
+		return t.run, t.err
+	default:
+		return nil, errors.New("simsvc: task still running")
+	}
+}
+
+// NewPool starts the workers and returns the pool. Call Close when done.
+func NewPool(cfg PoolConfig) *Pool {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	sim := cfg.Simulate
+	if sim == nil {
+		sim = func(_ context.Context, j core.Job) (*stats.Run, error) {
+			return core.Simulate(j.Workload, j.Arch, j.Policy)
+		}
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = NewMetrics()
+	}
+	p := &Pool{
+		simulate: sim,
+		metrics:  m,
+		queue:    make(chan *Task, depth),
+		done:     make(chan struct{}),
+		workers:  workers,
+	}
+	m.workers.Store(int64(workers))
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Metrics returns the pool's metrics set.
+func (p *Pool) Metrics() *Metrics { return p.metrics }
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers. Jobs still queued fail with ErrPoolClosed;
+// jobs already executing run to completion. Close blocks until every
+// worker has exited and is safe to call more than once.
+func (p *Pool) Close() {
+	p.closing.Do(func() { close(p.done) })
+	p.wg.Wait()
+	// Catch tasks that won the submission race against Close so their
+	// waiters still unblock.
+	for {
+		select {
+		case t := <-p.queue:
+			p.metrics.depth.Add(-1)
+			t.finish(nil, ErrPoolClosed)
+		default:
+			return
+		}
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			// Drain: fail whatever is still queued so waiters unblock.
+			for {
+				select {
+				case t := <-p.queue:
+					p.metrics.depth.Add(-1)
+					t.finish(nil, ErrPoolClosed)
+				default:
+					return
+				}
+			}
+		case t := <-p.queue:
+			p.metrics.depth.Add(-1)
+			p.exec(t)
+		}
+	}
+}
+
+func (t *Task) finish(run *stats.Run, err error) {
+	t.run, t.err = run, err
+	close(t.done)
+}
+
+// exec runs one task with panic isolation.
+func (p *Pool) exec(t *Task) {
+	if err := t.ctx.Err(); err != nil {
+		// Canceled while queued: never start the simulation.
+		p.metrics.canceled.Add(1)
+		t.finish(nil, err)
+		return
+	}
+	p.metrics.started.Add(1)
+	start := time.Now()
+	run, err := p.runIsolated(t)
+	wall := time.Since(start)
+	if err != nil {
+		p.metrics.failed.Add(1)
+		p.metrics.jobDone(wall, 0)
+	} else {
+		p.metrics.completed.Add(1)
+		p.metrics.jobDone(wall, run.Cycles)
+	}
+	t.finish(run, err)
+}
+
+func (p *Pool) runIsolated(t *Task) (run *stats.Run, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			name := "?"
+			if t.Job.Workload != nil {
+				name = t.Job.Workload.Name
+			}
+			run, err = nil, fmt.Errorf("simsvc: job %s/%s panicked: %v",
+				name, t.Job.Policy.Name, r)
+		}
+	}()
+	run, err = p.simulate(t.ctx, t.Job)
+	if err == nil && t.Job.Label != "" {
+		run.Policy = t.Job.Label
+	}
+	return run, err
+}
+
+// Submit enqueues a job without blocking. It returns ErrQueueFull when
+// the queue has no free slot and ErrPoolClosed after Close. The task's
+// context cancels it while queued (and is passed to the simulator).
+func (p *Pool) Submit(ctx context.Context, job core.Job) (*Task, error) {
+	t := &Task{Job: job, ctx: ctx, done: make(chan struct{})}
+	select {
+	case <-p.done:
+		return nil, ErrPoolClosed
+	default:
+	}
+	select {
+	case p.queue <- t:
+		p.metrics.submitted.Add(1)
+		p.metrics.depth.Add(1)
+		return t, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Exec enqueues a job — blocking for queue space if necessary — and
+// waits for its result. Canceling ctx abandons the job: if it has not
+// started it will never run; if it is running, the simulator sees the
+// canceled context.
+func (p *Pool) Exec(ctx context.Context, job core.Job) (*stats.Run, error) {
+	t := &Task{Job: job, ctx: ctx, done: make(chan struct{})}
+	select {
+	case p.queue <- t:
+		p.metrics.submitted.Add(1)
+		p.metrics.depth.Add(1)
+	case <-p.done:
+		return nil, ErrPoolClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case <-t.done:
+		return t.run, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Sweep submits every job through the queue and returns the records in
+// job order. The first error encountered is returned (after all
+// submitted jobs settle).
+func (p *Pool) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error) {
+	tasks := make([]*Task, 0, len(jobs))
+	var submitErr error
+	for _, j := range jobs {
+		t := &Task{Job: j, ctx: ctx, done: make(chan struct{})}
+		select {
+		case p.queue <- t:
+			p.metrics.submitted.Add(1)
+			p.metrics.depth.Add(1)
+			tasks = append(tasks, t)
+		case <-p.done:
+			submitErr = ErrPoolClosed
+		case <-ctx.Done():
+			submitErr = ctx.Err()
+		}
+		if submitErr != nil {
+			break
+		}
+	}
+	results := make([]*stats.Run, len(jobs))
+	err := submitErr
+	for i, t := range tasks {
+		<-t.done
+		if t.err != nil && err == nil {
+			err = t.err
+		}
+		results[i] = t.run
+	}
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Sequential is the inline Runner: it executes jobs one at a time on the
+// calling goroutine with no pool, queue or recovery — the reference path
+// the determinism guard compares the pool against.
+type Sequential struct {
+	// Simulate overrides the executor (nil: the LADM pipeline).
+	Simulate SimulateFunc
+}
+
+// Sweep runs the jobs in order on the calling goroutine.
+func (s Sequential) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error) {
+	sim := s.Simulate
+	if sim == nil {
+		sim = func(_ context.Context, j core.Job) (*stats.Run, error) {
+			return core.Simulate(j.Workload, j.Arch, j.Policy)
+		}
+	}
+	results := make([]*stats.Run, len(jobs))
+	for i, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		run, err := sim(ctx, j)
+		if err != nil {
+			return nil, err
+		}
+		if j.Label != "" {
+			run.Policy = j.Label
+		}
+		results[i] = run
+	}
+	return results, nil
+}

@@ -1,0 +1,288 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ladm/internal/core"
+	"ladm/internal/stats"
+)
+
+// fakeSim builds a SimulateFunc that counts invocations and returns a
+// synthetic record derived from the job label.
+func fakeSim(calls *atomic.Int64) SimulateFunc {
+	return func(_ context.Context, j core.Job) (*stats.Run, error) {
+		calls.Add(1)
+		return &stats.Run{Workload: j.Label, Cycles: 100}, nil
+	}
+}
+
+func labeled(label string) core.Job { return core.Job{Label: label} }
+
+func TestPoolExecutesJobs(t *testing.T) {
+	var calls atomic.Int64
+	p := NewPool(PoolConfig{Workers: 2, Simulate: fakeSim(&calls)})
+	defer p.Close()
+
+	run, err := p.Exec(context.Background(), labeled("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Workload != "a" || run.Policy != "a" {
+		t.Errorf("run = %+v", run)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d", calls.Load())
+	}
+	m := p.Metrics().Snapshot()
+	if m.Submitted != 1 || m.Started != 1 || m.Completed != 1 || m.Failed != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestSweepPreservesOrder(t *testing.T) {
+	var calls atomic.Int64
+	p := NewPool(PoolConfig{Workers: 4, Simulate: fakeSim(&calls)})
+	defer p.Close()
+
+	jobs := make([]core.Job, 20)
+	for i := range jobs {
+		jobs[i] = labeled(fmt.Sprintf("j%02d", i))
+	}
+	runs, err := p.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range runs {
+		if want := fmt.Sprintf("j%02d", i); r.Workload != want {
+			t.Errorf("runs[%d] = %q, want %q", i, r.Workload, want)
+		}
+	}
+	if calls.Load() != 20 {
+		t.Errorf("calls = %d", calls.Load())
+	}
+}
+
+// blockingSim returns a simulator that signals on started and blocks
+// until release is closed.
+func blockingSim(calls *atomic.Int64, started chan<- string, release <-chan struct{}) SimulateFunc {
+	return func(_ context.Context, j core.Job) (*stats.Run, error) {
+		calls.Add(1)
+		started <- j.Label
+		<-release
+		return &stats.Run{Workload: j.Label}, nil
+	}
+}
+
+func TestCancellationMidQueue(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 8,
+		Simulate: blockingSim(&calls, started, release)})
+	defer p.Close()
+
+	// Occupy the single worker.
+	blocker, err := p.Submit(context.Background(), labeled("blocker"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Queue three jobs behind it, then cancel them while queued.
+	ctx, cancel := context.WithCancel(context.Background())
+	var queued []*Task
+	for i := 0; i < 3; i++ {
+		task, err := p.Submit(ctx, labeled(fmt.Sprintf("q%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, task)
+	}
+	cancel()
+	close(release)
+
+	<-blocker.Done()
+	if _, err := blocker.Result(); err != nil {
+		t.Errorf("blocker: %v", err)
+	}
+	for i, task := range queued {
+		<-task.Done()
+		if _, err := task.Result(); !errors.Is(err, context.Canceled) {
+			t.Errorf("queued[%d] err = %v, want context.Canceled", i, err)
+		}
+	}
+	// The canceled jobs never reached the simulator.
+	if calls.Load() != 1 {
+		t.Errorf("simulate calls = %d, want 1", calls.Load())
+	}
+	m := p.Metrics().Snapshot()
+	if m.Canceled != 3 || m.Started != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, Simulate: func(_ context.Context, j core.Job) (*stats.Run, error) {
+		if j.Label == "boom" {
+			panic("kaboom")
+		}
+		return &stats.Run{Workload: j.Label}, nil
+	}})
+	defer p.Close()
+
+	if _, err := p.Exec(context.Background(), labeled("boom")); err == nil ||
+		!strings.Contains(err.Error(), "panicked") {
+		t.Errorf("panic err = %v", err)
+	}
+	// The pool survives: the next job on the same worker still runs.
+	run, err := p.Exec(context.Background(), labeled("ok"))
+	if err != nil || run.Workload != "ok" {
+		t.Errorf("post-panic run = %v, %v", run, err)
+	}
+	m := p.Metrics().Snapshot()
+	if m.Failed != 1 || m.Completed != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestBackpressureWhenQueueFull(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	p := NewPool(PoolConfig{Workers: 1, QueueDepth: 2,
+		Simulate: blockingSim(&calls, started, release)})
+	defer p.Close()
+
+	if _, err := p.Submit(context.Background(), labeled("blocker")); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; queue empty
+	for i := 0; i < 2; i++ {
+		if _, err := p.Submit(context.Background(), labeled("fill")); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if _, err := p.Submit(context.Background(), labeled("over")); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("overflow err = %v, want ErrQueueFull", err)
+	}
+	if d := p.Metrics().Snapshot().QueueDepth; d != 2 {
+		t.Errorf("queue depth = %d, want 2", d)
+	}
+
+	// Exec with an already-expired context must not wedge on the full
+	// queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Exec(ctx, labeled("late")); !errors.Is(err, context.Canceled) {
+		t.Errorf("Exec on full queue = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, Simulate: fakeSim(new(atomic.Int64))})
+	p.Close()
+	if _, err := p.Submit(context.Background(), labeled("x")); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Submit after close = %v", err)
+	}
+	if _, err := p.Exec(context.Background(), labeled("x")); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Exec after close = %v", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestSweepFirstError(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 2, Simulate: func(_ context.Context, j core.Job) (*stats.Run, error) {
+		if j.Label == "bad" {
+			return nil, errors.New("synthetic failure")
+		}
+		return &stats.Run{Workload: j.Label}, nil
+	}})
+	defer p.Close()
+	_, err := p.Sweep(context.Background(), []core.Job{labeled("a"), labeled("bad"), labeled("c")})
+	if err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Errorf("sweep err = %v", err)
+	}
+}
+
+func TestSequentialMatchesPool(t *testing.T) {
+	var calls atomic.Int64
+	sim := fakeSim(&calls)
+	jobs := []core.Job{labeled("a"), labeled("b")}
+	seq, err := Sequential{Simulate: sim}.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(PoolConfig{Workers: 2, Simulate: sim})
+	defer p.Close()
+	par, err := p.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].Workload != par[i].Workload {
+			t.Errorf("order mismatch at %d: %q vs %q", i, seq[i].Workload, par[i].Workload)
+		}
+	}
+}
+
+func TestMetricsRendering(t *testing.T) {
+	var calls atomic.Int64
+	p := NewPool(PoolConfig{Workers: 1, Simulate: fakeSim(&calls)})
+	defer p.Close()
+	if _, err := p.Exec(context.Background(), labeled("a")); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	p.Metrics().WriteProm(&b)
+	text := b.String()
+	for _, want := range []string{
+		"simsvc_jobs_submitted_total 1",
+		"simsvc_jobs_completed_total 1",
+		"simsvc_jobs_failed_total 0",
+		"simsvc_queue_depth 0",
+		"simsvc_workers 1",
+		"simsvc_simulated_cycles_total 100",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "NaN") || strings.Contains(text, "Inf") {
+		t.Errorf("metrics contain non-finite values:\n%s", text)
+	}
+	// An empty metrics set renders finite values too (no 0/0).
+	b.Reset()
+	NewMetrics().WriteProm(&b)
+	if s := b.String(); strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Errorf("empty metrics non-finite:\n%s", s)
+	}
+}
+
+func TestTaskResultBeforeDone(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	p := NewPool(PoolConfig{Workers: 1,
+		Simulate: blockingSim(new(atomic.Int64), started, release)})
+	defer p.Close()
+	task, err := p.Submit(context.Background(), labeled("slow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := task.Result(); err == nil {
+		t.Error("Result before Done should error")
+	}
+	close(release)
+	select {
+	case <-task.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("task never finished")
+	}
+}

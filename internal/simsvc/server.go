@@ -1,0 +1,363 @@
+package simsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ladm/internal/kernels"
+	"ladm/internal/stats"
+)
+
+// Job lifecycle states reported by the service.
+const (
+	StatusQueued   = "queued"   // accepted, waiting for a worker
+	StatusRunning  = "running"  // simulating (or waiting on an identical in-flight job)
+	StatusDone     = "done"     // record available
+	StatusFailed   = "failed"   // simulation errored or panicked
+	StatusCanceled = "canceled" // context expired before completion
+)
+
+// JobView is the JSON shape of one tracked job.
+type JobView struct {
+	ID      string  `json:"id"`
+	Key     string  `json:"key"`
+	Status  string  `json:"status"`
+	Request Request `json:"request"`
+	// Cached reports that the record came from the result cache (or an
+	// identical in-flight job) rather than a fresh simulation.
+	Cached bool        `json:"cached"`
+	Error  string      `json:"error,omitempty"`
+	WallMS float64     `json:"wall_ms"`
+	Run    *RunPayload `json:"run,omitempty"`
+}
+
+type jobRecord struct {
+	id        string
+	req       Request
+	key       JobKey
+	status    string
+	cached    bool
+	err       error
+	run       *stats.Run
+	submitted time.Time
+	finished  time.Time
+}
+
+// Server exposes the pool, cache and metrics over HTTP:
+//
+//	POST /run      {workload, policy, machine, scale?, async?}
+//	POST /sweep    {workloads, policies?, machines?, scale?, async?}
+//	GET  /jobs     all tracked jobs
+//	GET  /jobs/{id}
+//	GET  /metrics  Prometheus text format
+type Server struct {
+	pool  *Pool
+	cache *Cache
+
+	mu     sync.Mutex
+	jobs   map[string]*jobRecord
+	nextID int
+}
+
+// NewServer wraps a pool with a result cache and a job registry.
+func NewServer(pool *Pool) *Server {
+	return &Server{
+		pool:  pool,
+		cache: NewCache(pool.Metrics()),
+		jobs:  map[string]*jobRecord{},
+	}
+}
+
+// Cache returns the server's result cache.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// register tracks a new job record for the normalized request.
+func (s *Server) register(req Request) *jobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	rec := &jobRecord{
+		id:        fmt.Sprintf("job-%06d", s.nextID),
+		req:       req,
+		key:       req.Key(),
+		status:    StatusQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[rec.id] = rec
+	return rec
+}
+
+func (s *Server) view(rec *jobRecord) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := JobView{
+		ID:      rec.id,
+		Key:     rec.key.String(),
+		Status:  rec.status,
+		Request: rec.req,
+		Cached:  rec.cached,
+	}
+	if rec.err != nil {
+		v.Error = rec.err.Error()
+	}
+	end := rec.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	v.WallMS = float64(end.Sub(rec.submitted)) / float64(time.Millisecond)
+	if rec.run != nil {
+		p := NewRunPayload(rec.run)
+		v.Run = &p
+	}
+	return v
+}
+
+func (s *Server) setStatus(rec *jobRecord, status string) {
+	s.mu.Lock()
+	rec.status = status
+	s.mu.Unlock()
+}
+
+// execute runs one tracked job to completion through the cache and pool.
+func (s *Server) execute(ctx context.Context, rec *jobRecord) {
+	job, err := rec.req.Resolve()
+	if err != nil {
+		s.finishJob(rec, nil, false, err)
+		return
+	}
+	s.setStatus(rec, StatusRunning)
+	run, cached, err := s.cache.Do(ctx, rec.key, func() (*stats.Run, error) {
+		return s.pool.Exec(ctx, job)
+	})
+	s.finishJob(rec, run, cached, err)
+}
+
+func (s *Server) finishJob(rec *jobRecord, run *stats.Run, cached bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.finished = time.Now()
+	rec.run, rec.cached, rec.err = run, cached, err
+	switch {
+	case err == nil:
+		rec.status = StatusDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		rec.status = StatusCanceled
+	default:
+		rec.status = StatusFailed
+	}
+}
+
+type runRequest struct {
+	Request
+	// Async makes the endpoint return 202 with a job id immediately;
+	// poll GET /jobs/{id} for the record.
+	Async bool `json:"async,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Workload == "" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("missing workload (valid: %s)", strings.Join(kernels.Names(), " ")))
+		return
+	}
+	norm := req.Request.Normalize()
+	if _, err := norm.Resolve(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Async {
+		rec := s.register(norm)
+		// Reserve pool capacity up front so a saturated service answers
+		// 503 instead of hoarding goroutines. The cached/in-flight fast
+		// path needs no slot.
+		if _, hit := s.cache.Get(rec.key); !hit {
+			if err := s.reserve(); err != nil {
+				s.finishJob(rec, nil, false, err)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+		}
+		go s.execute(context.Background(), rec)
+		writeJSON(w, http.StatusAccepted, s.view(rec))
+		return
+	}
+	rec := s.register(norm)
+	s.execute(r.Context(), rec)
+	s.respondFinished(w, rec)
+}
+
+// reserve fails fast when the queue is full, without consuming a slot:
+// it is an admission check for asynchronous submissions (the later Exec
+// re-queues for real, so the answer is advisory under races).
+func (s *Server) reserve() error {
+	m := s.pool.Metrics()
+	if int(m.depth.Load()) >= cap(s.pool.queue) {
+		return ErrQueueFull
+	}
+	return nil
+}
+
+func (s *Server) respondFinished(w http.ResponseWriter, rec *jobRecord) {
+	v := s.view(rec)
+	switch v.Status {
+	case StatusDone:
+		writeJSON(w, http.StatusOK, v)
+	case StatusCanceled:
+		writeJSON(w, 499, v) // client closed request
+	default:
+		code := http.StatusInternalServerError
+		if errors.Is(rec.err, ErrQueueFull) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, v)
+	}
+}
+
+type sweepRequest struct {
+	Workloads []string `json:"workloads"`
+	Policies  []string `json:"policies"`
+	Machines  []string `json:"machines"`
+	Scale     int      `json:"scale,omitempty"`
+	Async     bool     `json:"async,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Workloads) == 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("missing workloads (valid: %s)", strings.Join(kernels.Names(), " ")))
+		return
+	}
+	if len(req.Policies) == 0 {
+		req.Policies = []string{"ladm"}
+	}
+	if len(req.Machines) == 0 {
+		req.Machines = []string{"hier"}
+	}
+	// Validate the whole cross product before admitting any cell.
+	var cells []Request
+	for _, wl := range req.Workloads {
+		for _, m := range req.Machines {
+			for _, p := range req.Policies {
+				cell := Request{Workload: wl, Policy: p, Machine: m, Scale: req.Scale}.Normalize()
+				if _, err := cell.Resolve(); err != nil {
+					writeError(w, http.StatusBadRequest, err)
+					return
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	recs := make([]*jobRecord, len(cells))
+	for i, cell := range cells {
+		recs[i] = s.register(cell)
+	}
+	if req.Async {
+		for _, rec := range recs {
+			go s.execute(context.Background(), rec)
+		}
+		writeJSON(w, http.StatusAccepted, s.views(recs))
+		return
+	}
+	var wg sync.WaitGroup
+	for _, rec := range recs {
+		wg.Add(1)
+		go func(rec *jobRecord) {
+			defer wg.Done()
+			s.execute(r.Context(), rec)
+		}(rec)
+	}
+	wg.Wait()
+	code := http.StatusOK
+	for _, rec := range recs {
+		s.mu.Lock()
+		failed := rec.err != nil
+		s.mu.Unlock()
+		if failed {
+			code = http.StatusInternalServerError
+			break
+		}
+	}
+	writeJSON(w, code, s.views(recs))
+}
+
+func (s *Server) views(recs []*jobRecord) []JobView {
+	out := make([]JobView, len(recs))
+	for i, rec := range recs {
+		out[i] = s.view(rec)
+	}
+	return out
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	recs := make([]*jobRecord, 0, len(s.jobs))
+	for _, rec := range s.jobs {
+		recs = append(recs, rec)
+	}
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
+	writeJSON(w, http.StatusOK, s.views(recs))
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rec := s.jobs[id]
+	s.mu.Unlock()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(rec))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.pool.Metrics().WriteProm(w)
+	fmt.Fprintf(w, "# HELP simsvc_cache_entries Cached or in-flight results.\n# TYPE simsvc_cache_entries gauge\nsimsvc_cache_entries %d\n", s.cache.Len())
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	fmt.Fprintf(w, "# HELP simsvc_tracked_jobs Jobs in the registry.\n# TYPE simsvc_tracked_jobs gauge\nsimsvc_tracked_jobs %d\n", n)
+}

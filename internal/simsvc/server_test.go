@@ -1,0 +1,359 @@
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ladm/internal/core"
+	"ladm/internal/stats"
+)
+
+// newTestService starts an httptest server over a pool with a fake
+// simulator that labels records by workload name.
+func newTestService(t *testing.T, calls *atomic.Int64) (*httptest.Server, *Server) {
+	t.Helper()
+	pool := NewPool(PoolConfig{Workers: 2, Simulate: func(_ context.Context, j core.Job) (*stats.Run, error) {
+		calls.Add(1)
+		return &stats.Run{
+			Workload: j.Workload.Name, Policy: j.Policy.Name, Arch: j.Arch.Name,
+			Cycles: 12345, WarpInstrs: 1000, L2SectorMisses: 50,
+		}, nil
+	}})
+	t.Cleanup(pool.Close)
+	srv := NewServer(pool)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestServerRunSyncAndCache(t *testing.T) {
+	var calls atomic.Int64
+	ts, _ := newTestService(t, &calls)
+
+	req := Request{Workload: "vecadd", Policy: "ladm", Machine: "hier", Scale: 8}
+	resp, body := postJSON(t, ts.URL+"/run", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusDone || v.Cached || v.Run == nil {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.Run.Cycles != 12345 || v.Run.Derived.MPKI != 50 {
+		t.Errorf("payload = %+v", v.Run)
+	}
+
+	// The identical request is served from the cache without simulating.
+	resp, body = postJSON(t, ts.URL+"/run", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Cached || v.Status != StatusDone {
+		t.Errorf("second run: %+v", v)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("simulate calls = %d, want 1", calls.Load())
+	}
+}
+
+func TestServerRunBadRequests(t *testing.T) {
+	ts, _ := newTestService(t, new(atomic.Int64))
+	cases := []struct {
+		body any
+		want string
+	}{
+		{Request{Workload: "nope"}, "valid:"},
+		{Request{Workload: "vecadd", Policy: "nope"}, "valid:"},
+		{Request{Workload: "vecadd", Machine: "nope"}, "valid:"},
+		{Request{}, "missing workload"},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/run", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status = %d", c.body, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), c.want) {
+			t.Errorf("%+v: body %s missing %q", c.body, body, c.want)
+		}
+	}
+	// Malformed JSON.
+	resp, _ := http.Post(ts.URL+"/run", "application/json", strings.NewReader("{nope"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestServerRunAsyncAndJobPoll(t *testing.T) {
+	ts, _ := newTestService(t, new(atomic.Int64))
+	resp, body := postJSON(t, ts.URL+"/run",
+		map[string]any{"workload": "vecadd", "async": true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" {
+		t.Fatal("no job id")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == StatusDone {
+			break
+		}
+		if v.Status == StatusFailed || time.Now().After(deadline) {
+			t.Fatalf("job never completed: %+v", v)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v.Run == nil || v.Run.Workload != "vecadd" {
+		t.Errorf("polled run = %+v", v.Run)
+	}
+}
+
+func TestServerSweepDedupesIdenticalCells(t *testing.T) {
+	var calls atomic.Int64
+	ts, _ := newTestService(t, &calls)
+	resp, body := postJSON(t, ts.URL+"/sweep", map[string]any{
+		"workloads": []string{"vecadd", "vecadd"},
+		"policies":  []string{"ladm", "h-coda"},
+		"scale":     8,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var views []JobView
+	if err := json.Unmarshal(body, &views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 4 {
+		t.Fatalf("cells = %d, want 4", len(views))
+	}
+	for i, v := range views {
+		if v.Status != StatusDone || v.Run == nil {
+			t.Errorf("cell %d: %+v", i, v)
+		}
+	}
+	// 2 duplicated workloads x 2 policies -> only 2 distinct jobs simulate;
+	// single-flight/cache serves the duplicates.
+	if calls.Load() != 2 {
+		t.Errorf("simulate calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestServerSweepValidatesBeforeRunning(t *testing.T) {
+	var calls atomic.Int64
+	ts, _ := newTestService(t, &calls)
+	resp, body := postJSON(t, ts.URL+"/sweep", map[string]any{
+		"workloads": []string{"vecadd", "nope"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("invalid sweep still simulated %d jobs", calls.Load())
+	}
+	resp, _ = postJSON(t, ts.URL+"/sweep", map[string]any{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty sweep: status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerJobsListAndNotFound(t *testing.T) {
+	ts, _ := newTestService(t, new(atomic.Int64))
+	postJSON(t, ts.URL+"/run", Request{Workload: "vecadd"})
+	resp, body := func() (*http.Response, []byte) {
+		r, err := http.Get(ts.URL + "/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		d, _ := io.ReadAll(r.Body)
+		return r, d
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("jobs list status = %d", resp.StatusCode)
+	}
+	var views []JobView
+	if err := json.Unmarshal(body, &views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || views[0].ID != "job-000001" {
+		t.Errorf("jobs = %+v", views)
+	}
+	r, err := http.Get(ts.URL + "/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d", r.StatusCode)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestService(t, new(atomic.Int64))
+	postJSON(t, ts.URL+"/run", Request{Workload: "vecadd"})
+	postJSON(t, ts.URL+"/run", Request{Workload: "vecadd"}) // cache hit
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", r.StatusCode)
+	}
+	body, _ := io.ReadAll(r.Body)
+	text := string(body)
+	for _, want := range []string{
+		"simsvc_jobs_completed_total 1",
+		"simsvc_jobs_cached_total 1",
+		"simsvc_cache_entries 1",
+		"simsvc_tracked_jobs 2",
+		"simsvc_job_wall_seconds_sum",
+		"simsvc_simulated_cycles_per_second",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServerEndToEndRealPipeline exercises POST /run and GET /metrics
+// against the real LADM simulation pipeline (no fake simulator): the
+// acceptance path of the service.
+func TestServerEndToEndRealPipeline(t *testing.T) {
+	pool := NewPool(PoolConfig{Workers: 2})
+	defer pool.Close()
+	ts := httptest.NewServer(NewServer(pool).Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/run",
+		Request{Workload: "vecadd", Policy: "ladm", Machine: "hier", Scale: 64})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusDone || v.Run == nil {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.Run.Cycles <= 0 || v.Run.TBs <= 0 {
+		t.Errorf("implausible record: cycles=%v tbs=%d", v.Run.Cycles, v.Run.TBs)
+	}
+	if v.Run.Workload != "vecadd" || v.Run.Policy != "ladm" {
+		t.Errorf("record identity: %s/%s", v.Run.Workload, v.Run.Policy)
+	}
+
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	text, _ := io.ReadAll(r.Body)
+	if !strings.Contains(string(text), "simsvc_jobs_completed_total 1") {
+		t.Errorf("metrics after real run:\n%s", text)
+	}
+	if !strings.Contains(string(text), "simsvc_simulated_cycles_total") {
+		t.Errorf("metrics missing cycle counter:\n%s", text)
+	}
+}
+
+// TestServerAsyncBackpressure drives the async path into a full queue
+// and expects 503 + Retry-After.
+func TestServerAsyncBackpressure(t *testing.T) {
+	started := make(chan string, 16)
+	release := make(chan struct{})
+	var calls atomic.Int64
+	pool := NewPool(PoolConfig{Workers: 1, QueueDepth: 1,
+		Simulate: blockingSim(&calls, started, release)})
+	defer pool.Close()
+	defer close(release)
+	ts := httptest.NewServer(NewServer(pool).Handler())
+	defer ts.Close()
+
+	// First async job occupies the worker; scales differ so no dedup.
+	resp, body := postJSON(t, ts.URL+"/run", map[string]any{
+		"workload": "vecadd", "scale": 8, "async": true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first: %d %s", resp.StatusCode, body)
+	}
+	<-started
+	// Second fills the queue slot.
+	waitFor(t, func() bool {
+		resp, _ := postJSON(t, ts.URL+"/run", map[string]any{
+			"workload": "vecadd", "scale": 9, "async": true})
+		return resp.StatusCode == http.StatusAccepted
+	})
+	// With worker busy and queue full, the next async submit is rejected.
+	waitFor(t, func() bool {
+		resp, body := postJSON(t, ts.URL+"/run", map[string]any{
+			"workload": "vecadd", "scale": 10, "async": true})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return false
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("503 without Retry-After")
+		}
+		if !strings.Contains(string(body), "queue full") {
+			t.Errorf("503 body: %s", body)
+		}
+		return true
+	})
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -43,8 +43,8 @@ func (c TrafficCat) String() string {
 
 // CatCounter tracks sector accesses and hits of one traffic category.
 type CatCounter struct {
-	Sectors uint64 // sectors requested
-	Hits    uint64 // sectors that hit
+	Sectors uint64 `json:"sectors"` // sectors requested
+	Hits    uint64 `json:"hits"`    // sectors that hit
 }
 
 // HitRate returns the category's sector hit rate.
@@ -58,53 +58,54 @@ func (c CatCounter) HitRate() float64 {
 // Run is the result of simulating one workload under one policy on one
 // machine.
 type Run struct {
-	Workload string
-	Policy   string
-	Arch     string
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+	Arch     string `json:"arch"`
 
 	// Cycles is the kernel-time sum (performance = work/cycles).
-	Cycles float64
+	Cycles float64 `json:"cycles"`
 	// WarpInstrs counts issued warp instructions (memory + modelled ALU).
-	WarpInstrs uint64
+	WarpInstrs uint64 `json:"warp_instrs"`
 
 	// L1 aggregate sector counters.
-	L1Sectors, L1Hits uint64
+	L1Sectors uint64 `json:"l1_sectors"`
+	L1Hits    uint64 `json:"l1_hits"`
 
 	// L2 traffic by category (aggregated over all L2 slices).
-	L2 [NumTrafficCats]CatCounter
+	L2 [NumTrafficCats]CatCounter `json:"l2"`
 
 	// L2SectorMisses counts requester-side L2 sector misses (the MPKI
 	// numerator of Table IV).
-	L2SectorMisses uint64
+	L2SectorMisses uint64 `json:"l2_sector_misses"`
 
 	// Byte movement.
-	LocalBytes        uint64 // SM<->L2 within a node
-	InterChipletBytes uint64 // ring crossings
-	InterGPUBytes     uint64 // switch crossings
-	DRAMBytes         uint64
+	LocalBytes        uint64 `json:"local_bytes"`         // SM<->L2 within a node
+	InterChipletBytes uint64 `json:"inter_chiplet_bytes"` // ring crossings
+	InterGPUBytes     uint64 `json:"inter_gpu_bytes"`     // switch crossings
+	DRAMBytes         uint64 `json:"dram_bytes"`
 
 	// DRAMRowHitRate is the row-buffer locality observed.
-	DRAMRowHitRate float64
+	DRAMRowHitRate float64 `json:"dram_row_hit_rate"`
 
 	// PageFaults taken (first-touch policies).
-	PageFaults int
+	PageFaults int `json:"page_faults"`
 
 	// HostFetches counts host->device page transfers under
 	// oversubscription; HostBytes is the volume moved.
-	HostFetches int
-	HostBytes   uint64
+	HostFetches int    `json:"host_fetches"`
+	HostBytes   uint64 `json:"host_bytes"`
 
 	// Bottleneck diagnostics: the busiest single resource of each class,
 	// in cycles (compare against Cycles to find the saturated level).
-	MaxDRAMBusy  float64
-	MaxRingBusy  float64
-	MaxLinkBusy  float64
-	MaxL2SrvBusy float64
-	MaxIssueBusy float64
-	MaxIntraBusy float64
+	MaxDRAMBusy  float64 `json:"max_dram_busy"`
+	MaxRingBusy  float64 `json:"max_ring_busy"`
+	MaxLinkBusy  float64 `json:"max_link_busy"`
+	MaxL2SrvBusy float64 `json:"max_l2_srv_busy"`
+	MaxIssueBusy float64 `json:"max_issue_busy"`
+	MaxIntraBusy float64 `json:"max_intra_busy"`
 
 	// TBs is the number of threadblocks executed.
-	TBs int
+	TBs int `json:"tbs"`
 }
 
 // OffNodeBytes returns bytes that crossed a chiplet boundary.

@@ -162,3 +162,82 @@ func TestSortRuns(t *testing.T) {
 		t.Errorf("sort order wrong: %+v", runs)
 	}
 }
+
+func TestGeomeanEdgeCases(t *testing.T) {
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %f, want 0", g)
+	}
+	if g := Geomean([]float64{}); g != 0 {
+		t.Errorf("Geomean(empty) = %f, want 0", g)
+	}
+	// All-zero and negative entries are ignored, never NaN/Inf.
+	for _, vs := range [][]float64{{0}, {0, 0, 0}, {-1, 0}, {-2}} {
+		g := Geomean(vs)
+		if g != 0 {
+			t.Errorf("Geomean(%v) = %f, want 0", vs, g)
+		}
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Errorf("Geomean(%v) non-finite: %f", vs, g)
+		}
+	}
+	// Zeros mixed with positives: the zeros drop out.
+	if g := Geomean([]float64{0, 2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean(0,2,8) = %f, want 4", g)
+	}
+}
+
+func TestMeanEdgeCases(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %f", m)
+	}
+	if m := Mean([]float64{}); m != 0 {
+		t.Errorf("Mean(empty) = %f", m)
+	}
+}
+
+// TestZeroTrafficRun checks that a run whose counters never saw traffic
+// renders finite values everywhere: no 0/0 NaN or Inf reaches a table.
+func TestZeroTrafficRun(t *testing.T) {
+	r := &Run{Workload: "idle", Policy: "ladm", Arch: "hier"}
+
+	checks := map[string]float64{
+		"L1HitRate":       r.L1HitRate(),
+		"MPKI":            r.MPKI(),
+		"OffNodeFraction": r.OffNodeFraction(),
+	}
+	for c := LocalLocal; c < NumTrafficCats; c++ {
+		checks["HitRate/"+c.String()] = r.L2[c].HitRate()
+	}
+	share := r.L2TrafficShare()
+	for c := LocalLocal; c < NumTrafficCats; c++ {
+		checks["Share/"+c.String()] = share[c]
+	}
+	for name, v := range checks {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %f on zero-traffic run", name, v)
+		}
+		if v != 0 {
+			t.Errorf("%s = %f, want 0 on zero-traffic run", name, v)
+		}
+	}
+
+	// Speedup against a zero-cycle run must not divide by zero.
+	if s := r.Speedup(&Run{Cycles: 100}); s != 0 {
+		t.Errorf("zero-cycle Speedup = %f, want 0", s)
+	}
+
+	// Rendered cells stay finite too.
+	rendered := Table([]string{"metric", "value"}, [][]string{
+		{"mpki", Fmt(r.MPKI())},
+		{"l1", Pct(r.L1HitRate())},
+		{"offnode", Pct(r.OffNodeFraction())},
+	})
+	for _, bad := range []string{"NaN", "Inf", "-Inf"} {
+		if strings.Contains(rendered, bad) {
+			t.Errorf("rendered table contains %s:\n%s", bad, rendered)
+		}
+	}
+	if bars := Bars([]string{"a", "b"}, []float64{0, 0}, 10); strings.Contains(bars, "NaN") {
+		t.Errorf("zero-valued bars contain NaN:\n%s", bars)
+	}
+}
