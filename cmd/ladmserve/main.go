@@ -5,17 +5,22 @@
 //
 //	ladmserve                      # listen on :8080, GOMAXPROCS workers
 //	ladmserve -addr :9000 -workers 4 -queue 64
+//	ladmserve -pprof               # also mount /debug/pprof/
+//	ladmserve -retain-jobs 1000 -retain-ttl 1h
 //
 // Endpoints:
 //
 //	POST /run      run one simulation
 //	               {"workload":"sq-gemm","policy":"ladm","machine":"hier","scale":6}
-//	               add "async":true for 202 + a job id to poll
+//	               add "async":true for 202 + a job id to poll,
+//	               "telemetry":true for a sampled time series + trace
 //	POST /sweep    run a workload x policy x machine cross product
 //	               {"workloads":["vecadd"],"policies":["h-coda","ladm"]}
 //	GET  /jobs     every tracked job
 //	GET  /jobs/{id}
+//	GET  /jobs/{id}/telemetry  series/trace of a telemetry job (?view=csv|trace)
 //	GET  /metrics  Prometheus text format
+//	GET  /debug/pprof/  host-side CPU/heap profiles (with -pprof)
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,15 +41,33 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = all CPUs)")
 	queue := flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	retainJobs := flag.Int("retain-jobs", simsvc.DefaultRetainJobs,
+		"max finished jobs kept in the registry (0 = unlimited)")
+	retainTTL := flag.Duration("retain-ttl", 0,
+		"drop finished jobs older than this (0 = no TTL)")
 	flag.Parse()
 
 	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: *workers, QueueDepth: *queue})
 	defer pool.Close()
 	server := simsvc.NewServer(pool)
+	server.SetRetention(*retainJobs, *retainTTL)
+
+	root := http.NewServeMux()
+	root.Handle("/", server.Handler())
+	if *pprofOn {
+		// Opt-in: profiles expose host internals, so they stay off the
+		// default surface. `go tool pprof http://host:8080/debug/pprof/profile`
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(server.Handler()),
+		Handler:           logRequests(root),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

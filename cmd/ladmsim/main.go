@@ -7,7 +7,14 @@
 //	ladmsim -workload sq-gemm -policy ladm
 //	ladmsim -workload pagerank -policy h-coda -arch monolithic -scale 4
 //	ladmsim -workload vecadd -json
+//	ladmsim -workload sq-gemm -series util.csv -trace trace.json
 //	ladmsim -list
+//
+// Observability: -series FILE emits a simulated-time utilization/queue
+// series (CSV by extension, else JSON), -trace FILE emits a Chrome
+// trace of threadblock lifetimes (open in chrome://tracing or
+// Perfetto), -telemetry prints the run's telemetry summary, and
+// -sample N sets the sampling interval in cycles.
 //
 // Machines: hier (Table III), hier-perlink (per-hop ring links),
 // monolithic, xbar-90, xbar-180, xbar-360, ring-1400, ring-2800, dgx.
@@ -17,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,6 +33,7 @@ import (
 	"ladm/internal/kernels"
 	rt "ladm/internal/runtime"
 	"ladm/internal/simsvc"
+	"ladm/internal/simtel"
 	"ladm/internal/stats"
 )
 
@@ -35,6 +44,11 @@ func main() {
 	scale := flag.Int("scale", 6, "input scale divisor (1 = paper size)")
 	jsonOut := flag.Bool("json", false, "print the full measurement record as JSON")
 	list := flag.Bool("list", false, "list workloads and policies")
+	traceOut := flag.String("trace", "", "write a Chrome trace of TB lifetimes to this file")
+	traceTx := flag.Bool("trace-tx", false, "also trace individual memory transactions (large)")
+	seriesOut := flag.String("series", "", "write the simulated-time telemetry series to this file (.csv = CSV, else JSON)")
+	sample := flag.Float64("sample", simtel.DefaultSampleEvery, "telemetry sampling interval in cycles")
+	telemetry := flag.Bool("telemetry", false, "sample the run and print its telemetry summary")
 	flag.Parse()
 
 	if *list {
@@ -60,9 +74,43 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	run, err := core.Simulate(spec.W, cfg, pol)
+
+	telCfg := simtel.Config{
+		Trace:   *traceOut != "",
+		TraceTx: *traceTx,
+	}
+	if *seriesOut != "" || *telemetry {
+		telCfg.SampleEvery = *sample
+	}
+	tel := simtel.New(telCfg) // nil when nothing is enabled
+
+	run, err := core.SimulateJob(core.Job{Workload: spec.W, Arch: cfg, Policy: pol, Tel: tel})
 	if err != nil {
 		fail(err)
+	}
+
+	writeOut := func(path string, write func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := write(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *traceOut != "" {
+		writeOut(*traceOut, tel.WriteTrace)
+	}
+	if *seriesOut != "" {
+		series := tel.Series()
+		if strings.HasSuffix(*seriesOut, ".csv") {
+			writeOut(*seriesOut, series.WriteCSV)
+		} else {
+			writeOut(*seriesOut, series.WriteJSON)
+		}
 	}
 
 	if *jsonOut {
@@ -113,4 +161,24 @@ func main() {
 		{"SM<->L2 xbar", stats.Fmt(run.MaxIntraBusy), stats.Pct(run.MaxIntraBusy / run.Cycles)},
 	}
 	fmt.Print(stats.Table([]string{"resource", "busy", "utilization"}, busy))
+
+	if t := run.Telemetry; t != nil {
+		fmt.Printf("\nTelemetry (%d samples, every %s cycles):\n",
+			t.Samples, stats.Fmt(t.SampleInterval))
+		sat := "never"
+		if t.SaturationCycle >= 0 {
+			sat = "cycle " + stats.Fmt(t.SaturationCycle)
+		}
+		rows := [][]string{
+			{"inter-GPU link util (peak/mean)",
+				stats.Pct(t.PeakLinkUtil) + " / " + stats.Pct(t.MeanLinkUtil)},
+			{"inter-chiplet ring util (peak/mean)",
+				stats.Pct(t.PeakRingUtil) + " / " + stats.Pct(t.MeanRingUtil)},
+			{"DRAM util (peak)", stats.Pct(t.PeakDRAMUtil)},
+			{"deepest queue", fmt.Sprintf("%s cycles (%s)",
+				stats.Fmt(t.MaxQueueDepth), t.MaxQueueResource)},
+			{"fabric saturation onset", sat},
+		}
+		fmt.Print(stats.Table([]string{"metric", "value"}, rows))
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"ladm/internal/engine"
 	"ladm/internal/kir"
 	rt "ladm/internal/runtime"
+	"ladm/internal/simtel"
 	"ladm/internal/stats"
 )
 
@@ -25,17 +26,27 @@ type Job struct {
 	Arch     arch.Config
 	// Label tags the run (defaults to the policy name).
 	Label string
+	// Tel, when non-nil, collects telemetry for the run (time series
+	// and/or trace spans); it never affects the simulated results.
+	Tel *simtel.Collector
 }
 
 // Simulate runs the full pipeline for one job.
 func Simulate(w *kir.Workload, cfg arch.Config, pol rt.Policy) (*stats.Run, error) {
-	plan, err := rt.Prepare(w, &cfg, pol)
+	return SimulateJob(Job{Workload: w, Arch: cfg, Policy: pol})
+}
+
+// SimulateJob runs the full pipeline for one job, threading its
+// telemetry collector (if any) through to the engine.
+func SimulateJob(j Job) (*stats.Run, error) {
+	plan, err := rt.Prepare(j.Workload, &j.Arch, j.Policy)
 	if err != nil {
-		return nil, fmt.Errorf("core: prepare %s/%s: %w", w.Name, pol.Name, err)
+		return nil, fmt.Errorf("core: prepare %s/%s: %w", j.Workload.Name, j.Policy.Name, err)
 	}
+	plan.Tel = j.Tel
 	run, err := engine.New(plan).Run()
 	if err != nil {
-		return nil, fmt.Errorf("core: simulate %s/%s: %w", w.Name, pol.Name, err)
+		return nil, fmt.Errorf("core: simulate %s/%s: %w", j.Workload.Name, j.Policy.Name, err)
 	}
 	return run, nil
 }

@@ -27,6 +27,7 @@ import (
 	"ladm/internal/mem/page"
 	"ladm/internal/queueing"
 	"ladm/internal/runtime"
+	"ladm/internal/simtel"
 	"ladm/internal/stats"
 	"ladm/internal/trace"
 )
@@ -49,6 +50,10 @@ type Engine struct {
 
 	sched scheduler
 	run   *stats.Run
+
+	// tel observes the run (nil: telemetry disabled; every hook is
+	// nil-safe and the engine's timing is identical either way).
+	tel *simtel.Collector
 }
 
 // New builds an engine for a prepared plan.
@@ -107,7 +112,49 @@ func New(plan *runtime.Plan) *Engine {
 		e.hostLink = append(e.hostLink, queueing.NewResource(
 			fmt.Sprintf("host.g%d", gpu), cfg.BytesPerCycle(cfg.HostLinkGBs)))
 	}
+	e.tel = plan.Tel
+	if e.tel.Sampling() {
+		e.sched.startSampling(e.tel.SampleEvery(), e.telSample)
+	}
+	e.tel.SetTopology(cfg.Nodes(), cfg.SMsPerChiplet)
 	return e
+}
+
+// telSample snapshots every resource's cumulative counters at a sample
+// boundary. Strictly read-only: it books no bandwidth and schedules no
+// events, so sampling cannot perturb the simulation.
+func (e *Engine) telSample(t float64) {
+	cfg := e.cfg
+	cum := simtel.Cumulative{
+		Cycle: t,
+		Nodes: make([]simtel.NodeCum, cfg.Nodes()),
+		GPUs:  make([]simtel.GPUCum, cfg.GPUs),
+	}
+	for n := range cum.Nodes {
+		nc := &cum.Nodes[n]
+		nc.IntraBusy = e.net.IntraBusy(n)
+		nc.L2SrvBusy = e.l2srv[n].BusyCycles()
+		nc.L2SrvBacklog = e.l2srv[n].Backlog(t)
+		nc.L2Resident = e.l2[n].ResidentSectors()
+		st := e.hbm[n].Stats()
+		nc.DRAMBytes = st.Bytes
+		nc.DRAMBacklog = e.hbm[n].MaxBacklog(t)
+		// Normalize the stack's summed channel busy so 1.0 means every
+		// channel busy every cycle.
+		nc.DRAMBusy = e.hbm[n].BusyCycles() / float64(e.hbm[n].Config().Channels)
+	}
+	for g := range cum.GPUs {
+		gc := &cum.GPUs[g]
+		gc.RingBusy = e.net.RingBusy(g)
+		gc.EgressBusy = e.net.EgressBusy(g)
+		gc.IngressBusy = e.net.IngressBusy(g)
+		gc.EgressBacklog = e.net.EgressBacklog(g, t)
+		gc.IngressBacklog = e.net.IngressBacklog(g, t)
+	}
+	for c := range cum.L2Sectors {
+		cum.L2Sectors[c] = e.run.L2[c].Sectors
+	}
+	e.tel.Record(cum)
 }
 
 // Run simulates every launch of the plan's workload and returns the
@@ -179,6 +226,12 @@ func (e *Engine) finalizeStats() {
 			e.run.MaxIssueBusy = b
 		}
 	}
+	if e.tel.Sampling() {
+		// Flush the final partial interval, then fold the series into
+		// the run's provenance summary.
+		e.telSample(e.sched.now)
+		e.run.Telemetry = e.tel.Summary()
+	}
 }
 
 // tbExec tracks one resident threadblock's progress.
@@ -198,6 +251,7 @@ type tbExec struct {
 
 	queue  *[]int32 // remaining TBs of this node
 	onDone func(t float64)
+	born   float64 // when the TB took its resident slot (telemetry)
 
 	buf []trace.Transaction
 }
@@ -235,11 +289,13 @@ func (e *Engine) runKernel(gen *trace.Generator, lp *runtime.LaunchPlan) {
 				tb: int(tb), sm: sm, node: node,
 				warps: warps, resident: resident,
 				queue: &queues[node], onDone: done,
+				born: start,
 			}
 			e.sched.at(start, ex.step)
 		}
 	}
 	e.sched.drain()
+	e.tel.KernelSpan(k.Name, lp.Assignment.TotalTBs(), start, e.sched.now)
 }
 
 // step starts the threadblock's next phase.
@@ -281,6 +337,7 @@ func (x *tbExec) phaseDone(end float64) {
 	}
 
 	// Threadblock finished: free the slot and pull the next TB.
+	e.tel.TBSpan(x.k.Name, x.node, x.sm, x.tb, x.born, end)
 	x.onDone(end)
 	if len(*x.queue) > 0 {
 		tb := (*x.queue)[0]
@@ -290,7 +347,8 @@ func (x *tbExec) phaseDone(end float64) {
 			tb: int(tb), sm: x.sm, node: x.node,
 			warps: x.warps, resident: x.resident,
 			queue: x.queue, onDone: x.onDone,
-			buf: x.buf[:0],
+			born: end,
+			buf:  x.buf[:0],
 		}
 		e.sched.at(end, next.step)
 	}

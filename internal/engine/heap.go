@@ -39,6 +39,21 @@ type scheduler struct {
 	events eventHeap
 	seq    uint64
 	now    float64
+
+	// Telemetry sampling: sampleFn fires at every multiple of
+	// sampleEvery the clock crosses. The hook is a pure observer — it
+	// must not schedule events or book resources — so enabling it never
+	// changes event order or simulated time.
+	sampleFn    func(t float64)
+	sampleEvery float64
+	nextSample  float64
+}
+
+// startSampling arms the periodic telemetry hook.
+func (s *scheduler) startSampling(every float64, fn func(t float64)) {
+	s.sampleEvery = every
+	s.nextSample = every
+	s.sampleFn = fn
 }
 
 // at schedules fn to run at time t (clamped to now for past times).
@@ -55,6 +70,10 @@ func (s *scheduler) at(t float64, fn func(t float64)) {
 func (s *scheduler) drain() float64 {
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(*event)
+		for s.sampleFn != nil && s.nextSample <= ev.t {
+			s.sampleFn(s.nextSample)
+			s.nextSample += s.sampleEvery
+		}
 		if ev.t > s.now {
 			s.now = ev.t
 		}

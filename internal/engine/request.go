@@ -31,6 +31,15 @@ type txDone func(t float64, blocks bool)
 // startTx schedules the transaction's journey beginning at its issue time.
 // tx is captured by value: the caller's buffer may be reused.
 func (e *Engine) startTx(at float64, sm, node int, tx trace.Transaction, done txDone) {
+	if e.tel.TxTracing() {
+		inner := done
+		bytes := pop(cache.SectorMask(tx.Mask)) * e.cfg.SectorBytes
+		store := tx.Mode == kir.Store
+		done = func(t float64, blocks bool) {
+			e.tel.TxSpan(node, sm, bytes, store, at, t)
+			inner(t, blocks)
+		}
+	}
 	e.sched.at(at, func(t float64) { e.txAtL1(t, sm, node, tx, done) })
 }
 

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ladm/internal/arch"
+	"ladm/internal/kir"
+	"ladm/internal/runtime"
+	"ladm/internal/simtel"
+	"ladm/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden telemetry files")
+
+func simulateTel(t *testing.T, w *kir.Workload, cfg arch.Config,
+	pol runtime.Policy, tel *simtel.Collector) *stats.Run {
+	t.Helper()
+	plan, err := runtime.Prepare(w, &cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Tel = tel
+	run, err := New(plan).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestTelemetryDoesNotPerturbRun is the acceptance criterion that the
+// sampler and tracer are pure observers: a fully instrumented run must
+// report exactly the same simulation results as an uninstrumented one.
+func TestTelemetryDoesNotPerturbRun(t *testing.T) {
+	w := vecAdd(128)
+	cfg := arch.DefaultHierarchical()
+	plain := simulate(t, w, cfg, runtime.LADM())
+	tel := simtel.New(simtel.Config{SampleEvery: 100, Trace: true, TraceTx: true})
+	traced := simulateTel(t, w, cfg, runtime.LADM(), tel)
+
+	if traced.Telemetry == nil {
+		t.Fatal("instrumented run has no telemetry summary")
+	}
+	traced.Telemetry = nil // the only field allowed to differ
+	a, _ := json.Marshal(plain)
+	b, _ := json.Marshal(traced)
+	if !bytes.Equal(a, b) {
+		t.Errorf("telemetry perturbed the run:\nplain  %s\ntraced %s", a, b)
+	}
+}
+
+// TestSamplerDeterminism: two identical instrumented runs must emit
+// byte-identical series and traces.
+func TestSamplerDeterminism(t *testing.T) {
+	w := vecAdd(128)
+	cfg := arch.DefaultHierarchical()
+	capture := func() (series, trace []byte) {
+		tel := simtel.New(simtel.Config{SampleEvery: 250, Trace: true})
+		simulateTel(t, w, cfg, runtime.LADM(), tel)
+		var s, tr bytes.Buffer
+		if err := tel.Series().WriteJSON(&s); err != nil {
+			t.Fatal(err)
+		}
+		if err := tel.WriteTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return s.Bytes(), tr.Bytes()
+	}
+	s1, t1 := capture()
+	s2, t2 := capture()
+	if !bytes.Equal(s1, s2) {
+		t.Errorf("series differ between identical runs:\n%s\n---\n%s", s1, s2)
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Errorf("traces differ between identical runs")
+	}
+}
+
+// TestTelemetrySummaryShape sanity-checks the provenance summary
+// attached to the run record.
+func TestTelemetrySummaryShape(t *testing.T) {
+	tel := simtel.New(simtel.Config{SampleEvery: 100})
+	run := simulateTel(t, stridedScan(256, 8), arch.DefaultHierarchical(),
+		runtime.BaselineRR(), tel)
+	sum := run.Telemetry
+	if sum == nil {
+		t.Fatal("no telemetry summary")
+	}
+	if sum.Samples <= 0 || sum.SampleInterval != 100 {
+		t.Errorf("summary meta = %+v", sum)
+	}
+	if sum.PeakLinkUtil < sum.MeanLinkUtil {
+		t.Errorf("peak link util %v below mean %v", sum.PeakLinkUtil, sum.MeanLinkUtil)
+	}
+	if sum.PeakLinkUtil < 0 || sum.PeakLinkUtil > 1 {
+		t.Errorf("peak link util %v outside [0,1]", sum.PeakLinkUtil)
+	}
+	// The strided baseline pushes real off-node traffic, so some queue
+	// somewhere must have been observed non-empty or at least named.
+	if sum.MaxQueueDepth > 0 && sum.MaxQueueResource == "" {
+		t.Errorf("max queue depth %v with no resource name", sum.MaxQueueDepth)
+	}
+}
+
+// TestGoldenChromeTrace locks the exact Chrome trace a tiny vecadd run
+// emits. Regenerate with: go test ./internal/engine -run GoldenChromeTrace -update
+func TestGoldenChromeTrace(t *testing.T) {
+	tel := simtel.New(simtel.Config{Trace: true})
+	simulateTel(t, vecAdd(8), arch.DefaultHierarchical(), runtime.LADM(), tel)
+	var buf bytes.Buffer
+	if err := tel.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []simtel.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "vecadd_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden file (run with -update if intended)\ngot %d bytes, want %d",
+			buf.Len(), len(want))
+	}
+}

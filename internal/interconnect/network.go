@@ -224,6 +224,42 @@ func (n *Network) MaxBusy(kind Kind) float64 {
 	return m
 }
 
+// IntraBusy returns one node's SM<->L2 crossbar busy cycles.
+func (n *Network) IntraBusy(node int) float64 { return n.intra[node].BusyCycles() }
+
+// RingBusy returns the busy cycles of one GPU's busiest inter-chiplet
+// resource: the aggregate ring, or the hottest directional hop link on
+// per-link machines (each hop link carries its share of the aggregate
+// bandwidth, so its busy time is directly comparable).
+func (n *Network) RingBusy(gpu int) float64 {
+	if n.hops[gpu] != nil {
+		var m float64
+		for _, r := range n.hops[gpu] {
+			if b := r.BusyCycles(); b > m {
+				m = b
+			}
+		}
+		return m
+	}
+	return n.ring[gpu].BusyCycles()
+}
+
+// EgressBusy returns one GPU's switch-uplink busy cycles.
+func (n *Network) EgressBusy(gpu int) float64 { return n.egress[gpu].BusyCycles() }
+
+// IngressBusy returns one GPU's switch-downlink busy cycles.
+func (n *Network) IngressBusy(gpu int) float64 { return n.ingress[gpu].BusyCycles() }
+
+// EgressBacklog returns the cycles of queued work on one GPU's uplink.
+func (n *Network) EgressBacklog(gpu int, now float64) float64 {
+	return n.egress[gpu].Backlog(now)
+}
+
+// IngressBacklog returns the cycles of queued work on one GPU's downlink.
+func (n *Network) IngressBacklog(gpu int, now float64) float64 {
+	return n.ingress[gpu].Backlog(now)
+}
+
 // Reset clears all resource schedules and byte counters.
 func (n *Network) Reset() {
 	for _, pool := range [][]*queueing.Resource{n.intra, n.ring, n.egress, n.ingress} {

@@ -75,10 +75,11 @@ type Result struct {
 
 // Cache is a sectored set-associative cache with LRU replacement.
 type Cache struct {
-	cfg   Config
-	lines []line // sets*assoc, set-major
-	tick  uint64
-	stats Stats
+	cfg      Config
+	lines    []line // sets*assoc, set-major
+	tick     uint64
+	stats    Stats
+	resident int // valid sectors currently held (occupancy gauge)
 }
 
 // New creates a cache. It panics on inconsistent geometry: caches are
@@ -176,6 +177,7 @@ func (c *Cache) Access(addr uint64, mask SectorMask, allocate, dirty bool) Resul
 			c.stats.SectorMisses += uint64(popcount(miss))
 			ln.lru = c.tick
 			if allocate {
+				c.resident += popcount(miss)
 				ln.valid |= mask
 			}
 			if dirty {
@@ -212,7 +214,9 @@ func (c *Cache) Access(addr uint64, mask SectorMask, allocate, dirty bool) Resul
 		res.VictimAddr = victim.tag
 		c.stats.Evictions++
 		c.stats.WritebackSecs += uint64(res.WritebackSectors)
+		c.resident -= popcount(victim.valid)
 	}
+	c.resident += popcount(mask)
 	victim.tag = lineAddr
 	victim.valid = mask
 	victim.live = true
@@ -249,9 +253,15 @@ func (c *Cache) InvalidateAll() (writebackSectors int) {
 		}
 		c.lines[i] = line{}
 	}
+	c.resident = 0
 	c.stats.WritebackSecs += uint64(writebackSectors)
 	return writebackSectors
 }
+
+// ResidentSectors returns the number of valid sectors currently held —
+// an O(1) occupancy gauge maintained across fills, evictions and
+// invalidations (the telemetry sampler reads it every interval).
+func (c *Cache) ResidentSectors() int { return c.resident }
 
 // LiveLines counts currently valid lines (testing/inspection).
 func (c *Cache) LiveLines() int {

@@ -149,6 +149,18 @@ func (h *HBM) MaxChannelBusy() float64 {
 	return m
 }
 
+// MaxBacklog returns the deepest per-channel backlog at now: the cycles
+// of booked-but-unserved work on the most congested channel.
+func (h *HBM) MaxBacklog(now float64) float64 {
+	var m float64
+	for i := range h.channels {
+		if b := h.channels[i].res.Backlog(now); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
 // Reset clears schedule, row state and statistics.
 func (h *HBM) Reset() {
 	for i := range h.channels {

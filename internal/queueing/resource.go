@@ -68,6 +68,12 @@ func (r *Resource) QueueDelay(now float64) float64 {
 	return r.nextFree - now
 }
 
+// Backlog returns the resource's occupancy at now: the cycles of
+// already-booked service still ahead of a transfer arriving at now. It
+// is the queue-depth signal the telemetry sampler records (identical to
+// QueueDelay, named for the gauge it feeds).
+func (r *Resource) Backlog(now float64) float64 { return r.QueueDelay(now) }
+
 // BusyCycles returns the total cycles the resource has been serving.
 func (r *Resource) BusyCycles() float64 { return r.busy }
 

@@ -8,6 +8,7 @@ import (
 	"ladm/internal/kir"
 	"ladm/internal/mem/page"
 	"ladm/internal/sched"
+	"ladm/internal/simtel"
 	sym "ladm/internal/symbolic"
 )
 
@@ -39,6 +40,11 @@ type Plan struct {
 
 	// Dominant is the workload-level locality label (Table IV).
 	Dominant compiler.LocalityType
+
+	// Tel, when non-nil, observes the run: the engine samples a
+	// simulated-time utilization series and/or records trace spans into
+	// it. Telemetry is a pure observer — it never changes cycle counts.
+	Tel *simtel.Collector
 }
 
 // faultCostCycles is the modelled first-touch fault cost: 25 microseconds

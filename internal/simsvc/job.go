@@ -36,6 +36,12 @@ type Request struct {
 	// Scale is the input scale divisor (1 = paper-size inputs);
 	// 0 means DefaultScale.
 	Scale int `json:"scale,omitempty"`
+	// Telemetry enables simulated-time sampling and trace collection
+	// for the run; the record gains a telemetry summary and
+	// GET /jobs/{id}/telemetry serves the series. Part of the JobKey:
+	// sampled and unsampled runs cache separately because their records
+	// differ.
+	Telemetry bool `json:"telemetry,omitempty"`
 }
 
 // Normalize fills defaulted fields so that equal jobs hash equally.
@@ -60,14 +66,16 @@ func (k JobKey) String() string { return hex.EncodeToString(k[:]) }
 
 // keySchema versions the hash layout: bump it if the fields feeding the
 // hash (or the simulator's observable outputs) change meaning.
-const keySchema = "simsvc/v1"
+// v2: Telemetry joined the hash and records may carry a telemetry
+// summary.
+const keySchema = "simsvc/v2"
 
 // Key returns the request's content hash.
 func (r Request) Key() JobKey {
 	r = r.Normalize()
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%d",
-		keySchema, r.Workload, r.Policy, r.Machine, r.Scale)
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%d\x00%t",
+		keySchema, r.Workload, r.Policy, r.Machine, r.Scale, r.Telemetry)
 	var k JobKey
 	h.Sum(k[:0])
 	return k

@@ -3,6 +3,7 @@ package simsvc
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,12 @@ type Metrics struct {
 	cached    atomic.Int64 // requests served from the result cache
 	depth     atomic.Int64 // current queue depth (gauge)
 	workers   atomic.Int64 // pool size (gauge)
+	evicted   atomic.Int64 // job records dropped by registry retention
+	telemetry atomic.Int64 // jobs executed with telemetry collection
+
+	// peakLink holds the float64 bits of the highest peak inter-GPU
+	// link utilization any telemetry job has reported (gauge).
+	peakLink atomic.Uint64
 
 	mu        sync.Mutex
 	wallSecs  float64 // summed per-job wall time
@@ -41,11 +48,28 @@ func (m *Metrics) jobDone(wall time.Duration, cycles float64) {
 	m.mu.Unlock()
 }
 
+// observeTelemetry folds one telemetry job's peak link utilization into
+// the high-water gauge.
+func (m *Metrics) observeTelemetry(peakLinkUtil float64) {
+	m.telemetry.Add(1)
+	for {
+		old := m.peakLink.Load()
+		if peakLinkUtil <= math.Float64frombits(old) {
+			return
+		}
+		if m.peakLink.CompareAndSwap(old, math.Float64bits(peakLinkUtil)) {
+			return
+		}
+	}
+}
+
 // Snapshot is a point-in-time copy of every metric, for tests and
 // programmatic consumers.
 type Snapshot struct {
 	Submitted, Started, Completed, Failed, Canceled, Cached int64
 	QueueDepth, Workers                                     int64
+	Evicted, TelemetryJobs                                  int64
+	PeakLinkUtil                                            float64
 	WallSeconds, WallMaxSeconds, SimCycles                  float64
 	// CyclesPerSecond is simulated cycles per wall-second of job
 	// execution (0 until a job completes).
@@ -66,6 +90,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Cached:         m.cached.Load(),
 		QueueDepth:     m.depth.Load(),
 		Workers:        m.workers.Load(),
+		Evicted:        m.evicted.Load(),
+		TelemetryJobs:  m.telemetry.Load(),
+		PeakLinkUtil:   math.Float64frombits(m.peakLink.Load()),
 		WallSeconds:    wall,
 		WallMaxSeconds: wallMax,
 		SimCycles:      cycles,
@@ -91,8 +118,11 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	counter("simsvc_jobs_failed_total", "Jobs that errored or panicked.", float64(s.Failed))
 	counter("simsvc_jobs_canceled_total", "Jobs canceled before execution.", float64(s.Canceled))
 	counter("simsvc_jobs_cached_total", "Requests served from the result cache.", float64(s.Cached))
+	counter("simsvc_jobs_evicted_total", "Job records dropped by registry retention.", float64(s.Evicted))
+	counter("simsvc_telemetry_jobs_total", "Jobs executed with telemetry collection.", float64(s.TelemetryJobs))
 	gauge("simsvc_queue_depth", "Jobs currently queued.", float64(s.QueueDepth))
 	gauge("simsvc_workers", "Worker goroutines in the pool.", float64(s.Workers))
+	gauge("simsvc_telemetry_peak_link_util", "Highest peak inter-GPU link utilization any telemetry job reported.", s.PeakLinkUtil)
 	fmt.Fprintf(w, "# HELP simsvc_job_wall_seconds Per-job wall time.\n# TYPE simsvc_job_wall_seconds summary\n")
 	fmt.Fprintf(w, "simsvc_job_wall_seconds_sum %g\n", s.WallSeconds)
 	fmt.Fprintf(w, "simsvc_job_wall_seconds_count %d\n", s.Started)

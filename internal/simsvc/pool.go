@@ -95,7 +95,7 @@ func NewPool(cfg PoolConfig) *Pool {
 	sim := cfg.Simulate
 	if sim == nil {
 		sim = func(_ context.Context, j core.Job) (*stats.Run, error) {
-			return core.Simulate(j.Workload, j.Arch, j.Policy)
+			return core.SimulateJob(j)
 		}
 	}
 	m := cfg.Metrics
@@ -235,6 +235,13 @@ func (p *Pool) Submit(ctx context.Context, job core.Job) (*Task, error) {
 // canceled context.
 func (p *Pool) Exec(ctx context.Context, job core.Job) (*stats.Run, error) {
 	t := &Task{Job: job, ctx: ctx, done: make(chan struct{})}
+	// Check done first: once the pool is closed the queue send below may
+	// still succeed (free slots, no workers), which would wait forever.
+	select {
+	case <-p.done:
+		return nil, ErrPoolClosed
+	default:
+	}
 	select {
 	case p.queue <- t:
 		p.metrics.submitted.Add(1)
@@ -260,6 +267,14 @@ func (p *Pool) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error)
 	var submitErr error
 	for _, j := range jobs {
 		t := &Task{Job: j, ctx: ctx, done: make(chan struct{})}
+		select {
+		case <-p.done:
+			submitErr = ErrPoolClosed
+		default:
+		}
+		if submitErr != nil {
+			break
+		}
 		select {
 		case p.queue <- t:
 			p.metrics.submitted.Add(1)
@@ -302,7 +317,7 @@ func (s Sequential) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, e
 	sim := s.Simulate
 	if sim == nil {
 		sim = func(_ context.Context, j core.Job) (*stats.Run, error) {
-			return core.Simulate(j.Workload, j.Arch, j.Policy)
+			return core.SimulateJob(j)
 		}
 	}
 	results := make([]*stats.Run, len(jobs))

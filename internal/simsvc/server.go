@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ladm/internal/kernels"
+	"ladm/internal/simtel"
 	"ladm/internal/stats"
 )
 
@@ -48,14 +49,19 @@ type jobRecord struct {
 	run       *stats.Run
 	submitted time.Time
 	finished  time.Time
+	// tel holds the run's telemetry collector when this record's
+	// execution actually ran the simulator (nil for cache hits, which
+	// share only the record). Read exclusively after the job finishes.
+	tel *simtel.Collector
 }
 
 // Server exposes the pool, cache and metrics over HTTP:
 //
-//	POST /run      {workload, policy, machine, scale?, async?}
+//	POST /run      {workload, policy, machine, scale?, telemetry?, async?}
 //	POST /sweep    {workloads, policies?, machines?, scale?, async?}
 //	GET  /jobs     all tracked jobs
 //	GET  /jobs/{id}
+//	GET  /jobs/{id}/telemetry  sampled series / Chrome trace (telemetry jobs)
 //	GET  /metrics  Prometheus text format
 type Server struct {
 	pool  *Pool
@@ -64,15 +70,36 @@ type Server struct {
 	mu     sync.Mutex
 	jobs   map[string]*jobRecord
 	nextID int
+
+	// Registry retention (ROADMAP "Job registry growth"): finished
+	// records beyond retainMax, or older than retainTTL, are evicted at
+	// registration time. Zero values disable the respective limit.
+	retainMax int
+	retainTTL time.Duration
 }
+
+// DefaultRetainJobs bounds the job registry when no explicit retention
+// is configured: enough history for any realistic sweep, finite under
+// sustained traffic.
+const DefaultRetainJobs = 4096
 
 // NewServer wraps a pool with a result cache and a job registry.
 func NewServer(pool *Pool) *Server {
 	return &Server{
-		pool:  pool,
-		cache: NewCache(pool.Metrics()),
-		jobs:  map[string]*jobRecord{},
+		pool:      pool,
+		cache:     NewCache(pool.Metrics()),
+		jobs:      map[string]*jobRecord{},
+		retainMax: DefaultRetainJobs,
 	}
+}
+
+// SetRetention reconfigures job-registry eviction: keep at most maxJobs
+// finished records (0 = unlimited) and drop finished records older than
+// ttl (0 = no TTL). In-flight jobs are never evicted.
+func (s *Server) SetRetention(maxJobs int, ttl time.Duration) {
+	s.mu.Lock()
+	s.retainMax, s.retainTTL = maxJobs, ttl
+	s.mu.Unlock()
 }
 
 // Cache returns the server's result cache.
@@ -85,6 +112,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/telemetry", s.handleJobTelemetry)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -101,7 +129,8 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// register tracks a new job record for the normalized request.
+// register tracks a new job record for the normalized request, evicting
+// stale finished records per the retention policy.
 func (s *Server) register(req Request) *jobRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -114,7 +143,52 @@ func (s *Server) register(req Request) *jobRecord {
 		submitted: time.Now(),
 	}
 	s.jobs[rec.id] = rec
+	s.evictLocked(time.Now())
 	return rec
+}
+
+func finishedStatus(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCanceled
+}
+
+// evictLocked applies the retention policy: finished records past the
+// TTL go first, then the oldest finished records until the registry fits
+// retainMax. Requires s.mu.
+func (s *Server) evictLocked(now time.Time) {
+	evicted := 0
+	if s.retainTTL > 0 {
+		for id, rec := range s.jobs {
+			if finishedStatus(rec.status) && now.Sub(rec.finished) > s.retainTTL {
+				delete(s.jobs, id)
+				evicted++
+			}
+		}
+	}
+	if s.retainMax > 0 && len(s.jobs) > s.retainMax {
+		var done []*jobRecord
+		for _, rec := range s.jobs {
+			if finishedStatus(rec.status) {
+				done = append(done, rec)
+			}
+		}
+		// Oldest completions go first; ids break ties deterministically.
+		sort.Slice(done, func(i, j int) bool {
+			if !done[i].finished.Equal(done[j].finished) {
+				return done[i].finished.Before(done[j].finished)
+			}
+			return done[i].id < done[j].id
+		})
+		for _, rec := range done {
+			if len(s.jobs) <= s.retainMax {
+				break
+			}
+			delete(s.jobs, rec.id)
+			evicted++
+		}
+	}
+	if evicted > 0 {
+		s.pool.Metrics().evicted.Add(int64(evicted))
+	}
 }
 
 func (s *Server) view(rec *jobRecord) JobView {
@@ -155,10 +229,30 @@ func (s *Server) execute(ctx context.Context, rec *jobRecord) {
 		s.finishJob(rec, nil, false, err)
 		return
 	}
+	var tel *simtel.Collector
+	if rec.req.Telemetry {
+		tel = simtel.New(simtel.Config{
+			SampleEvery: simtel.DefaultSampleEvery,
+			Trace:       true,
+		})
+		job.Tel = tel
+	}
 	s.setStatus(rec, StatusRunning)
 	run, cached, err := s.cache.Do(ctx, rec.key, func() (*stats.Run, error) {
 		return s.pool.Exec(ctx, job)
 	})
+	if tel != nil {
+		if cached {
+			// An identical in-flight or cached job produced the record;
+			// this collector never saw the engine.
+			tel = nil
+		} else if err == nil && run != nil && run.Telemetry != nil {
+			s.pool.Metrics().observeTelemetry(run.Telemetry.PeakLinkUtil)
+		}
+	}
+	s.mu.Lock()
+	rec.tel = tel
+	s.mu.Unlock()
 	s.finishJob(rec, run, cached, err)
 }
 
@@ -350,6 +444,76 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.view(rec))
+}
+
+// TelemetryView is the JSON shape of one job's telemetry.
+type TelemetryView struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// Cached means the record came from the cache: the summary is
+	// shared with the executing job but the series and trace were not
+	// retained for this record.
+	Cached      bool             `json:"cached"`
+	Summary     *stats.Telemetry `json:"summary"`
+	Series      *simtel.Series   `json:"series"`
+	TraceEvents int              `json:"trace_events"`
+}
+
+// handleJobTelemetry serves a finished telemetry job's series and trace:
+//
+//	GET /jobs/{id}/telemetry            summary + series as JSON
+//	GET /jobs/{id}/telemetry?view=csv   series as CSV
+//	GET /jobs/{id}/telemetry?view=trace Chrome trace JSON (Perfetto)
+func (s *Server) handleJobTelemetry(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rec := s.jobs[id]
+	s.mu.Unlock()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if !rec.req.Telemetry {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %s was not run with telemetry (submit with \"telemetry\": true)", id))
+		return
+	}
+	s.mu.Lock()
+	status, run, tel := rec.status, rec.run, rec.tel
+	cached := rec.cached
+	s.mu.Unlock()
+	if !finishedStatus(status) {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; telemetry is available once it finishes", id, status))
+		return
+	}
+	switch r.URL.Query().Get("view") {
+	case "", "json":
+		v := TelemetryView{ID: id, Status: status, Cached: cached}
+		if run != nil {
+			v.Summary = run.Telemetry
+		}
+		if tel != nil {
+			v.Series = tel.Series()
+			v.TraceEvents = len(tel.Events())
+		}
+		writeJSON(w, http.StatusOK, v)
+	case "csv":
+		if tel == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no retained series (cached result)", id))
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		tel.Series().WriteCSV(w)
+	case "trace":
+		if tel == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no retained trace (cached result)", id))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		tel.WriteTrace(w)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown view %q (valid: json, csv, trace)", r.URL.Query().Get("view")))
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

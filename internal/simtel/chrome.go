@@ -1,0 +1,130 @@
+package simtel
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Event is one Chrome trace-event (the JSON array format understood by
+// chrome://tracing and Perfetto). Timestamps are simulated cycles used
+// as-is in the "ts"/"dur" microsecond fields: 1 us of trace time = 1
+// simulated cycle.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// SetTopology declares the machine shape so tracks get stable names:
+// one process per NUMA node (threads = its SMs) plus a "kernels"
+// process one past the last node. Safe to call more than once; only the
+// first call emits metadata.
+func (c *Collector) SetTopology(nodes, smsPerNode int) {
+	if !c.Tracing() || c.metaDone {
+		return
+	}
+	c.metaDone = true
+	c.nodes, c.smsPer = nodes, smsPerNode
+	for n := 0; n < nodes; n++ {
+		c.events = append(c.events, Event{
+			Name: "process_name", Ph: "M", PID: n,
+			Args: map[string]any{"name": fmt.Sprintf("node%d", n)},
+		})
+		for sm := 0; sm < smsPerNode; sm++ {
+			c.events = append(c.events, Event{
+				Name: "thread_name", Ph: "M", PID: n, TID: sm,
+				Args: map[string]any{"name": fmt.Sprintf("sm%d", n*smsPerNode+sm)},
+			})
+		}
+	}
+	c.events = append(c.events, Event{
+		Name: "process_name", Ph: "M", PID: nodes,
+		Args: map[string]any{"name": "kernels"},
+	})
+}
+
+// kernelPID is the track the kernel spans land on.
+func (c *Collector) kernelPID() int { return c.nodes }
+
+// KernelSpan records one kernel launch's lifetime.
+func (c *Collector) KernelSpan(kernel string, tbs int, start, end float64) {
+	if !c.Tracing() {
+		return
+	}
+	c.events = append(c.events, Event{
+		Name: kernel, Cat: "kernel", Ph: "X",
+		TS: start, Dur: end - start, PID: c.kernelPID(),
+		Args: map[string]any{"tbs": tbs},
+	})
+}
+
+// TBSpan records one threadblock's scheduled-to-retired lifetime on its
+// SM's track (tid is the SM's index within its node).
+func (c *Collector) TBSpan(kernel string, node, sm, tb int, start, end float64) {
+	if !c.Tracing() {
+		return
+	}
+	tid := sm
+	if c.smsPer > 0 {
+		tid = sm % c.smsPer
+	}
+	c.events = append(c.events, Event{
+		Name: fmt.Sprintf("%s/tb%d", kernel, tb), Cat: "tb", Ph: "X",
+		TS: start, Dur: end - start, PID: node, TID: tid,
+	})
+}
+
+// TxSpan records one memory transaction's issue-to-retire span on the
+// issuing SM's track. Only collected under TraceTx.
+func (c *Collector) TxSpan(node, sm, bytes int, store bool, start, end float64) {
+	if !c.TxTracing() {
+		return
+	}
+	name := "load"
+	if store {
+		name = "store"
+	}
+	tid := sm
+	if c.smsPer > 0 {
+		tid = sm % c.smsPer
+	}
+	c.events = append(c.events, Event{
+		Name: name, Cat: "tx", Ph: "X",
+		TS: start, Dur: end - start, PID: node, TID: tid,
+		Args: map[string]any{"bytes": bytes},
+	})
+}
+
+// Events returns the collected trace events (nil-safe).
+func (c *Collector) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	return c.events
+}
+
+// WriteTrace writes the events as a Chrome trace JSON object, one event
+// per line. The output loads directly in chrome://tracing and Perfetto.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	for i, ev := range c.Events() {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		bw.Write(b)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,255 @@
+package simtel
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ladm/internal/stats"
+)
+
+// NodeCum is one node's cumulative counters at a sample boundary.
+// Busy fields are cumulative busy cycles (normalized so that one busy
+// cycle per elapsed cycle is 100% utilization); backlog fields and
+// L2Resident are instantaneous.
+type NodeCum struct {
+	IntraBusy    float64 // SM<->L2 crossbar busy cycles
+	L2SrvBusy    float64 // L2 bank service busy cycles
+	L2SrvBacklog float64 // cycles of queued L2 service work right now
+	L2Resident   int     // sectors currently resident in the L2 slice
+	DRAMBusy     float64 // per-channel-normalized HBM busy cycles
+	DRAMBytes    uint64  // bytes served by the node's HBM
+	DRAMBacklog  float64 // busiest channel's queued cycles right now
+}
+
+// GPUCum is one GPU's cumulative fabric counters at a sample boundary.
+type GPUCum struct {
+	RingBusy       float64 // busiest inter-chiplet resource's busy cycles
+	EgressBusy     float64 // switch uplink busy cycles
+	IngressBusy    float64 // switch downlink busy cycles
+	EgressBacklog  float64 // uplink queued cycles right now
+	IngressBacklog float64 // downlink queued cycles right now
+}
+
+// Cumulative is the engine's full counter snapshot at one boundary; the
+// collector differences consecutive snapshots into per-interval rates.
+type Cumulative struct {
+	Cycle     float64
+	Nodes     []NodeCum
+	GPUs      []GPUCum
+	L2Sectors [stats.NumTrafficCats]uint64
+}
+
+// NodeSample is one node's per-interval telemetry.
+type NodeSample struct {
+	IntraUtil   float64 `json:"intra_util"`   // SM<->L2 crossbar utilization
+	L2Util      float64 `json:"l2_util"`      // L2 bank service utilization
+	L2Backlog   float64 `json:"l2_backlog"`   // queued L2 cycles at sample time
+	L2Resident  int     `json:"l2_resident"`  // sectors resident in the slice
+	DRAMUtil    float64 `json:"dram_util"`    // HBM channel utilization
+	DRAMBw      float64 `json:"dram_bw"`      // HBM bytes/cycle this interval
+	DRAMBacklog float64 `json:"dram_backlog"` // busiest channel's queued cycles
+}
+
+// GPUSample is one GPU's per-interval fabric telemetry.
+type GPUSample struct {
+	RingUtil    float64 `json:"ring_util"`    // inter-chiplet ring utilization
+	LinkUtil    float64 `json:"link_util"`    // switch link (max of both directions)
+	LinkBacklog float64 `json:"link_backlog"` // queued link cycles at sample time
+}
+
+// Sample is one interval of the simulated-time series, stamped with the
+// cycle of its right edge.
+type Sample struct {
+	Cycle float64      `json:"cycle"`
+	Nodes []NodeSample `json:"nodes"`
+	GPUs  []GPUSample  `json:"gpus"`
+	// L2Rates is L2 sector throughput by traffic category
+	// (LOCAL-LOCAL, LOCAL-REMOTE, REMOTE-LOCAL), in sectors/cycle.
+	L2Rates [stats.NumTrafficCats]float64 `json:"l2_rates"`
+}
+
+// Series is the whole simulated-time telemetry record of one run.
+type Series struct {
+	Interval float64  `json:"interval"`
+	Samples  []Sample `json:"samples"`
+}
+
+// Record differences cum against the previous snapshot and appends the
+// per-interval sample. Boundaries with no elapsed time are dropped.
+func (c *Collector) Record(cum Cumulative) {
+	if !c.Sampling() {
+		return
+	}
+	if !c.primed {
+		// First boundary measures from cycle zero against zeroed counters.
+		c.prev = Cumulative{
+			Nodes: make([]NodeCum, len(cum.Nodes)),
+			GPUs:  make([]GPUCum, len(cum.GPUs)),
+		}
+		c.primed = true
+	}
+	dt := cum.Cycle - c.prev.Cycle
+	if dt <= 0 {
+		return
+	}
+	s := Sample{
+		Cycle: cum.Cycle,
+		Nodes: make([]NodeSample, len(cum.Nodes)),
+		GPUs:  make([]GPUSample, len(cum.GPUs)),
+	}
+	for i := range cum.Nodes {
+		now, was := &cum.Nodes[i], &c.prev.Nodes[i]
+		s.Nodes[i] = NodeSample{
+			IntraUtil:   util(now.IntraBusy-was.IntraBusy, dt),
+			L2Util:      util(now.L2SrvBusy-was.L2SrvBusy, dt),
+			L2Backlog:   now.L2SrvBacklog,
+			L2Resident:  now.L2Resident,
+			DRAMUtil:    util(now.DRAMBusy-was.DRAMBusy, dt),
+			DRAMBw:      float64(now.DRAMBytes-was.DRAMBytes) / dt,
+			DRAMBacklog: now.DRAMBacklog,
+		}
+	}
+	for i := range cum.GPUs {
+		now, was := &cum.GPUs[i], &c.prev.GPUs[i]
+		link := util(now.EgressBusy-was.EgressBusy, dt)
+		if in := util(now.IngressBusy-was.IngressBusy, dt); in > link {
+			link = in
+		}
+		backlog := now.EgressBacklog
+		if now.IngressBacklog > backlog {
+			backlog = now.IngressBacklog
+		}
+		s.GPUs[i] = GPUSample{
+			RingUtil:    util(now.RingBusy-was.RingBusy, dt),
+			LinkUtil:    link,
+			LinkBacklog: backlog,
+		}
+	}
+	for cat := range cum.L2Sectors {
+		s.L2Rates[cat] = float64(cum.L2Sectors[cat]-c.prev.L2Sectors[cat]) / dt
+	}
+	c.series.Samples = append(c.series.Samples, s)
+	c.prev = cum
+}
+
+func util(busy, dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	u := busy / dt
+	switch {
+	case u < 0:
+		return 0
+	case u > 1:
+		return 1
+	}
+	return u
+}
+
+// Summary reduces the series into the stats.Telemetry record attached to
+// stats.Run. Returns nil when no samples were collected.
+func (c *Collector) Summary() *stats.Telemetry {
+	if !c.Sampling() || len(c.series.Samples) == 0 {
+		return nil
+	}
+	t := &stats.Telemetry{
+		SampleInterval:  c.cfg.SampleEvery,
+		Samples:         len(c.series.Samples),
+		SaturationCycle: -1,
+	}
+	var linkSum, ringSum float64
+	for _, s := range c.series.Samples {
+		var link, ring float64
+		for g, gs := range s.GPUs {
+			if gs.LinkUtil > link {
+				link = gs.LinkUtil
+			}
+			if gs.RingUtil > ring {
+				ring = gs.RingUtil
+			}
+			if gs.LinkBacklog > t.MaxQueueDepth {
+				t.MaxQueueDepth = gs.LinkBacklog
+				t.MaxQueueResource = fmt.Sprintf("link.g%d", g)
+			}
+		}
+		for n, ns := range s.Nodes {
+			if ns.DRAMUtil > t.PeakDRAMUtil {
+				t.PeakDRAMUtil = ns.DRAMUtil
+			}
+			if ns.L2Backlog > t.MaxQueueDepth {
+				t.MaxQueueDepth = ns.L2Backlog
+				t.MaxQueueResource = fmt.Sprintf("l2srv.n%d", n)
+			}
+			if ns.DRAMBacklog > t.MaxQueueDepth {
+				t.MaxQueueDepth = ns.DRAMBacklog
+				t.MaxQueueResource = fmt.Sprintf("hbm.n%d", n)
+			}
+		}
+		if link > t.PeakLinkUtil {
+			t.PeakLinkUtil = link
+		}
+		if ring > t.PeakRingUtil {
+			t.PeakRingUtil = ring
+		}
+		if t.SaturationCycle < 0 && (link >= SaturationUtil || ring >= SaturationUtil) {
+			t.SaturationCycle = s.Cycle
+		}
+		linkSum += link
+		ringSum += ring
+	}
+	n := float64(len(c.series.Samples))
+	t.MeanLinkUtil = linkSum / n
+	t.MeanRingUtil = ringSum / n
+	return t
+}
+
+// WriteJSON writes the series as indented JSON.
+func (s *Series) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the series as one row per sample: a cycle column, the
+// per-node and per-GPU columns, then the three L2 traffic-category rates.
+func (s *Series) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	nodes, gpus := 0, 0
+	if len(s.Samples) > 0 {
+		nodes, gpus = len(s.Samples[0].Nodes), len(s.Samples[0].GPUs)
+	}
+	bw.WriteString("cycle")
+	for n := 0; n < nodes; n++ {
+		fmt.Fprintf(bw, ",n%d.intra_util,n%d.l2_util,n%d.l2_backlog,n%d.l2_resident,n%d.dram_util,n%d.dram_bw,n%d.dram_backlog",
+			n, n, n, n, n, n, n)
+	}
+	for g := 0; g < gpus; g++ {
+		fmt.Fprintf(bw, ",g%d.ring_util,g%d.link_util,g%d.link_backlog", g, g, g)
+	}
+	bw.WriteString(",l2.local_local,l2.local_remote,l2.remote_local\n")
+	for _, smp := range s.Samples {
+		bw.WriteString(fcsv(smp.Cycle))
+		for _, ns := range smp.Nodes {
+			writeCells(bw, ns.IntraUtil, ns.L2Util, ns.L2Backlog, float64(ns.L2Resident),
+				ns.DRAMUtil, ns.DRAMBw, ns.DRAMBacklog)
+		}
+		for _, gs := range smp.GPUs {
+			writeCells(bw, gs.RingUtil, gs.LinkUtil, gs.LinkBacklog)
+		}
+		writeCells(bw, smp.L2Rates[0], smp.L2Rates[1], smp.L2Rates[2])
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func writeCells(bw *bufio.Writer, vs ...float64) {
+	for _, v := range vs {
+		bw.WriteByte(',')
+		bw.WriteString(fcsv(v))
+	}
+}
+
+func fcsv(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

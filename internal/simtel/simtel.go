@@ -1,0 +1,90 @@
+// Package simtel is the simulated-time observability layer of the LADM
+// engine: a low-overhead sampler that turns the engine's cumulative
+// resource counters into per-interval utilization/bandwidth/queue-depth
+// series (the raw material for the paper's "pressure over time" plots),
+// a Chrome trace-event recorder for threadblock and kernel lifetimes
+// (loadable in chrome://tracing or Perfetto), and a summary reducer that
+// attaches peak/mean utilization and saturation onset to stats.Run.
+//
+// The collector is strictly an observer: every hook is a pure read of
+// engine state, so enabling telemetry never changes a simulated cycle
+// count. A nil *Collector is the disabled state — every method is
+// nil-safe and returns without allocating, which keeps the engine's hot
+// path untouched when telemetry is off.
+package simtel
+
+// DefaultSampleEvery is the sampling interval, in simulated cycles,
+// used when a consumer enables sampling without choosing one.
+const DefaultSampleEvery = 1000
+
+// SaturationUtil is the utilization threshold above which a fabric level
+// counts as saturated for Summary.SaturationCycle.
+const SaturationUtil = 0.95
+
+// Config selects what a Collector records.
+type Config struct {
+	// SampleEvery is the simulated-cycle interval between utilization
+	// samples; <= 0 disables the time series.
+	SampleEvery float64
+	// Trace records kernel and threadblock lifetime spans.
+	Trace bool
+	// TraceTx additionally records one span per memory transaction
+	// (implies Trace; output grows with every warp access).
+	TraceTx bool
+}
+
+// Collector accumulates telemetry for one engine run. The zero value is
+// not used directly: construct with New, or use a nil *Collector as the
+// disabled state.
+type Collector struct {
+	cfg Config
+
+	series Series
+	prev   Cumulative
+	primed bool
+
+	events   []Event
+	nodes    int
+	smsPer   int
+	metaDone bool
+}
+
+// New returns a collector for cfg. It returns nil when cfg enables
+// nothing, so callers can pass the result straight to the engine.
+func New(cfg Config) *Collector {
+	if cfg.SampleEvery <= 0 && !cfg.Trace && !cfg.TraceTx {
+		return nil
+	}
+	c := &Collector{cfg: cfg}
+	c.series.Interval = cfg.SampleEvery
+	return c
+}
+
+// Enabled reports whether any telemetry is being collected.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Sampling reports whether the time series is being collected.
+func (c *Collector) Sampling() bool { return c != nil && c.cfg.SampleEvery > 0 }
+
+// SampleEvery returns the sampling interval in simulated cycles.
+func (c *Collector) SampleEvery() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.cfg.SampleEvery
+}
+
+// Tracing reports whether lifetime spans are being collected.
+func (c *Collector) Tracing() bool { return c != nil && (c.cfg.Trace || c.cfg.TraceTx) }
+
+// TxTracing reports whether per-transaction spans are being collected.
+func (c *Collector) TxTracing() bool { return c != nil && c.cfg.TraceTx }
+
+// Series returns the collected time series (nil-safe; empty when
+// sampling is off).
+func (c *Collector) Series() *Series {
+	if c == nil {
+		return &Series{}
+	}
+	return &c.series
+}

@@ -1,0 +1,222 @@
+package simtel
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ladm/internal/stats"
+)
+
+func TestNewReturnsNilWhenNothingEnabled(t *testing.T) {
+	if c := New(Config{}); c != nil {
+		t.Fatalf("New(zero) = %v, want nil", c)
+	}
+	if c := New(Config{SampleEvery: -5}); c != nil {
+		t.Fatalf("New(negative interval) = %v, want nil", c)
+	}
+	if c := New(Config{SampleEvery: 100}); c == nil || !c.Sampling() || c.Tracing() {
+		t.Fatalf("sampling-only collector wrong: %+v", c)
+	}
+	if c := New(Config{Trace: true}); c == nil || c.Sampling() || !c.Tracing() {
+		t.Fatalf("trace-only collector wrong: %+v", c)
+	}
+}
+
+// TestNilCollectorZeroAllocs is the zero-overhead-when-disabled guard:
+// every hook on the disabled (nil) collector must return without
+// allocating, so a run with telemetry off pays nothing on the hot path.
+func TestNilCollectorZeroAllocs(t *testing.T) {
+	var c *Collector
+	allocs := testing.AllocsPerRun(200, func() {
+		if c.Enabled() || c.Sampling() || c.Tracing() || c.TxTracing() {
+			t.Fatal("nil collector claims to be enabled")
+		}
+		c.SetTopology(4, 16)
+		c.KernelSpan("k", 64, 0, 100)
+		c.TBSpan("k", 0, 3, 7, 0, 50)
+		c.TxSpan(0, 3, 32, false, 0, 10)
+		c.Record(Cumulative{Cycle: 1000})
+		_ = c.SampleEvery()
+		_ = c.Events()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled collector allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestRecordComputesIntervalRates(t *testing.T) {
+	c := New(Config{SampleEvery: 100})
+	c.Record(Cumulative{
+		Cycle: 100,
+		Nodes: []NodeCum{{IntraBusy: 50, L2SrvBusy: 25, L2SrvBacklog: 7, L2Resident: 12,
+			DRAMBusy: 10, DRAMBytes: 3200, DRAMBacklog: 3}},
+		GPUs:      []GPUCum{{RingBusy: 20, EgressBusy: 80, IngressBusy: 40, EgressBacklog: 5}},
+		L2Sectors: [stats.NumTrafficCats]uint64{200, 100, 50},
+	})
+	c.Record(Cumulative{
+		Cycle: 200,
+		Nodes: []NodeCum{{IntraBusy: 150, L2SrvBusy: 25, L2SrvBacklog: 0, L2Resident: 20,
+			DRAMBusy: 10, DRAMBytes: 3200, DRAMBacklog: 0}},
+		GPUs:      []GPUCum{{RingBusy: 120, EgressBusy: 90, IngressBusy: 140, EgressBacklog: 0}},
+		L2Sectors: [stats.NumTrafficCats]uint64{300, 100, 50},
+	})
+	s := c.Series()
+	if len(s.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(s.Samples))
+	}
+	first, second := s.Samples[0], s.Samples[1]
+	if first.Nodes[0].IntraUtil != 0.5 || first.Nodes[0].DRAMBw != 32 {
+		t.Errorf("first node sample = %+v", first.Nodes[0])
+	}
+	if first.GPUs[0].LinkUtil != 0.8 || first.GPUs[0].LinkBacklog != 5 {
+		t.Errorf("first gpu sample = %+v", first.GPUs[0])
+	}
+	if first.L2Rates != [stats.NumTrafficCats]float64{2, 1, 0.5} {
+		t.Errorf("first L2 rates = %v", first.L2Rates)
+	}
+	// Second interval: intra moved 100 busy cycles in 100 cycles -> 1.0;
+	// stalled counters -> 0; ring busy clamped at 1.0.
+	if second.Nodes[0].IntraUtil != 1 || second.Nodes[0].L2Util != 0 || second.Nodes[0].DRAMBw != 0 {
+		t.Errorf("second node sample = %+v", second.Nodes[0])
+	}
+	if second.GPUs[0].RingUtil != 1 || second.GPUs[0].LinkUtil != 1 {
+		t.Errorf("second gpu sample = %+v", second.GPUs[0])
+	}
+}
+
+func TestRecordDropsEmptyInterval(t *testing.T) {
+	c := New(Config{SampleEvery: 10})
+	c.Record(Cumulative{Cycle: 10})
+	c.Record(Cumulative{Cycle: 10}) // no time elapsed
+	if n := len(c.Series().Samples); n != 1 {
+		t.Fatalf("samples = %d, want 1", n)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c := New(Config{SampleEvery: 100})
+	if c.Summary() != nil {
+		t.Fatal("summary of empty series should be nil")
+	}
+	add := func(cycle, egress, ring, dramBusy, backlog float64) {
+		c.Record(Cumulative{
+			Cycle: cycle,
+			Nodes: []NodeCum{{DRAMBusy: dramBusy, DRAMBacklog: backlog}},
+			GPUs:  []GPUCum{{EgressBusy: egress, RingBusy: ring}},
+		})
+	}
+	// Cumulative busy: link utils per interval are 0.40 then 0.98.
+	add(100, 40, 10, 30, 120)
+	add(200, 138, 30, 30, 0)
+	sum := c.Summary()
+	if sum == nil {
+		t.Fatal("summary is nil")
+	}
+	if sum.Samples != 2 || sum.SampleInterval != 100 {
+		t.Errorf("summary meta = %+v", sum)
+	}
+	if sum.PeakLinkUtil != 0.98 || sum.MeanLinkUtil != (0.40+0.98)/2 {
+		t.Errorf("link util = peak %v mean %v", sum.PeakLinkUtil, sum.MeanLinkUtil)
+	}
+	if sum.SaturationCycle != 200 {
+		t.Errorf("saturation cycle = %v, want 200", sum.SaturationCycle)
+	}
+	if sum.MaxQueueDepth != 120 || sum.MaxQueueResource != "hbm.n0" {
+		t.Errorf("max queue = %v at %q", sum.MaxQueueDepth, sum.MaxQueueResource)
+	}
+	if sum.PeakDRAMUtil != 0.3 {
+		t.Errorf("peak dram util = %v", sum.PeakDRAMUtil)
+	}
+}
+
+func TestSummaryNeverSaturated(t *testing.T) {
+	c := New(Config{SampleEvery: 100})
+	c.Record(Cumulative{Cycle: 100, GPUs: []GPUCum{{EgressBusy: 10}}})
+	if sum := c.Summary(); sum.SaturationCycle != -1 {
+		t.Errorf("saturation cycle = %v, want -1", sum.SaturationCycle)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	c := New(Config{SampleEvery: 50})
+	c.Record(Cumulative{Cycle: 50,
+		Nodes: []NodeCum{{IntraBusy: 25}, {}},
+		GPUs:  []GPUCum{{EgressBusy: 10}}})
+	var buf bytes.Buffer
+	if err := c.Series().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want header + 1 row", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("header has %d cols, row has %d", len(header), len(row))
+	}
+	// cycle + 2 nodes x 7 + 1 gpu x 3 + 3 L2 categories
+	if want := 1 + 2*7 + 1*3 + 3; len(header) != want {
+		t.Errorf("cols = %d, want %d (%v)", len(header), want, header)
+	}
+	if header[0] != "cycle" || row[0] != "50" {
+		t.Errorf("cycle col = %q %q", header[0], row[0])
+	}
+	if header[1] != "n0.intra_util" || row[1] != "0.5" {
+		t.Errorf("intra col = %q %q", header[1], row[1])
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	c := New(Config{SampleEvery: 50})
+	c.Record(Cumulative{Cycle: 50, Nodes: []NodeCum{{IntraBusy: 10}}})
+	var buf bytes.Buffer
+	if err := c.Series().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Series
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Interval != 50 || len(got.Samples) != 1 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestWriteTraceIsValidChromeJSON(t *testing.T) {
+	c := New(Config{Trace: true, TraceTx: true})
+	c.SetTopology(2, 2)
+	c.SetTopology(2, 2) // idempotent
+	c.KernelSpan("gemm", 16, 0, 500)
+	c.TBSpan("gemm", 1, 3, 9, 10, 80)
+	c.TxSpan(1, 3, 64, true, 12, 40)
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 process names + 4 thread names + 1 kernels process + 3 spans.
+	if len(doc.TraceEvents) != 10 {
+		t.Fatalf("events = %d, want 10", len(doc.TraceEvents))
+	}
+	var tb *Event
+	for i := range doc.TraceEvents {
+		if doc.TraceEvents[i].Cat == "tb" {
+			tb = &doc.TraceEvents[i]
+		}
+	}
+	if tb == nil {
+		t.Fatal("no tb span in trace")
+	}
+	// SM 3 of a 2-SMs-per-node machine renders as thread 1 of node 1.
+	if tb.PID != 1 || tb.TID != 1 || tb.TS != 10 || tb.Dur != 70 {
+		t.Errorf("tb span = %+v", tb)
+	}
+}

@@ -106,6 +106,36 @@ type Run struct {
 
 	// TBs is the number of threadblocks executed.
 	TBs int `json:"tbs"`
+
+	// Telemetry summarizes the simulated-time series collected by
+	// internal/simtel; nil when the run was not sampled.
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
+}
+
+// Telemetry is the run-provenance summary of a sampled run: where the
+// pressure peaked over simulated time, not just how the run ended.
+type Telemetry struct {
+	// SampleInterval is the series' cycle spacing; Samples its length.
+	SampleInterval float64 `json:"sample_interval"`
+	Samples        int     `json:"samples"`
+
+	// Peak/mean utilization of the busiest inter-GPU link and
+	// inter-chiplet ring across sample intervals.
+	PeakLinkUtil float64 `json:"peak_link_util"`
+	MeanLinkUtil float64 `json:"mean_link_util"`
+	PeakRingUtil float64 `json:"peak_ring_util"`
+	MeanRingUtil float64 `json:"mean_ring_util"`
+	PeakDRAMUtil float64 `json:"peak_dram_util"`
+
+	// MaxQueueDepth is the deepest instantaneous backlog observed (in
+	// cycles of queued service) and MaxQueueResource the resource
+	// holding it.
+	MaxQueueDepth    float64 `json:"max_queue_depth"`
+	MaxQueueResource string  `json:"max_queue_resource,omitempty"`
+
+	// SaturationCycle is the first sample boundary where a link or ring
+	// reached saturation utilization; -1 when none ever did.
+	SaturationCycle float64 `json:"saturation_cycle"`
 }
 
 // OffNodeBytes returns bytes that crossed a chiplet boundary.
