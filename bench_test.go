@@ -47,6 +47,7 @@ func BenchmarkTable2IndexAnalysis(b *testing.B) {
 // BenchmarkTable4Characterization runs one workload's characterization
 // (analysis + H-CODA simulation), reporting its MPKI.
 func BenchmarkTable4Characterization(b *testing.B) {
+	b.ReportAllocs()
 	spec := mustWorkload(b, "vecadd")
 	sys := ladm.TableIIISystem()
 	var mpki float64
@@ -60,6 +61,7 @@ func BenchmarkTable4Characterization(b *testing.B) {
 // BenchmarkFig4BandwidthSensitivity simulates one Figure 4 cell: CODA on
 // the 90 GB/s crossbar against the monolithic reference.
 func BenchmarkFig4BandwidthSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	spec := mustWorkload(b, "scalarprod")
 	var norm float64
 	for i := 0; i < b.N; i++ {
@@ -73,10 +75,12 @@ func BenchmarkFig4BandwidthSensitivity(b *testing.B) {
 // BenchmarkFig9 runs the headline comparison (H-CODA vs LADM) for one
 // workload per locality group and reports the geomean speedup.
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	for _, name := range []string{"vecadd", "sq-gemm", "pagerank", "lbm"} {
 		spec := mustWorkload(b, name)
 		sys := ladm.TableIIISystem()
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var speedup float64
 			for i := 0; i < b.N; i++ {
 				base := simulate(b, spec.W, sys, ladm.HCODA())
@@ -91,6 +95,7 @@ func BenchmarkFig9(b *testing.B) {
 // BenchmarkFig10OffNodeTraffic reports the off-node traffic fraction under
 // LADM for a strided workload.
 func BenchmarkFig10OffNodeTraffic(b *testing.B) {
+	b.ReportAllocs()
 	spec := mustWorkload(b, "scalarprod")
 	sys := ladm.TableIIISystem()
 	var offnode float64
@@ -103,6 +108,7 @@ func BenchmarkFig10OffNodeTraffic(b *testing.B) {
 
 // BenchmarkFig11RemoteBypass contrasts RONCE and RTWICE on random-loc.
 func BenchmarkFig11RemoteBypass(b *testing.B) {
+	b.ReportAllocs()
 	spec := mustWorkload(b, "random-loc")
 	sys := ladm.TableIIISystem()
 	var gain float64
@@ -117,6 +123,7 @@ func BenchmarkFig11RemoteBypass(b *testing.B) {
 // BenchmarkHWValidDGX runs the Section IV-C analogue: LASP vs CODA on the
 // DGX-like topology for one ML layer.
 func BenchmarkHWValidDGX(b *testing.B) {
+	b.ReportAllocs()
 	spec := mustWorkload(b, "lstm-2")
 	sys := ladm.DGXLike()
 	var speedup float64
@@ -133,6 +140,7 @@ func BenchmarkHWValidDGX(b *testing.B) {
 // BenchmarkAblationBatchSizing contrasts Batch+FT's static batches with
 // LASP's Equation 2 dynamic batches on an alignment-sensitive workload.
 func BenchmarkAblationBatchSizing(b *testing.B) {
+	b.ReportAllocs()
 	spec := mustWorkload(b, "vecadd")
 	sys := ladm.TableIIISystem()
 	var gain float64
@@ -147,6 +155,7 @@ func BenchmarkAblationBatchSizing(b *testing.B) {
 // BenchmarkAblationHierarchy contrasts flat CODA with H-CODA on the
 // chiplet hierarchy.
 func BenchmarkAblationHierarchy(b *testing.B) {
+	b.ReportAllocs()
 	spec := mustWorkload(b, "sq-gemm")
 	sys := ladm.TableIIISystem()
 	var gain float64
@@ -161,6 +170,7 @@ func BenchmarkAblationHierarchy(b *testing.B) {
 // BenchmarkAblationCRB contrasts LADM's per-workload CRB against the two
 // static insertion policies on an RCL workload (where RONCE hurts).
 func BenchmarkAblationCRB(b *testing.B) {
+	b.ReportAllocs()
 	spec := mustWorkload(b, "sq-gemm")
 	sys := ladm.TableIIISystem()
 	var crbOverRonce float64

@@ -1,0 +1,206 @@
+// Command benchguard is the benchmark regression gate for the engine's
+// allocation-free event core. It parses `go test -bench -benchmem` output
+// and compares each benchmark's allocs/op against the ceiling pinned in
+// BENCH_engine.json, failing when any benchmark regresses above it.
+//
+// Allocation counts are (nearly) deterministic for a deterministic
+// simulator, so they make a sharp CI signal; wall-clock ns/op is recorded
+// in the baseline for reference but never gated — shared CI runners are
+// far too noisy for that.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x ladm ladm/internal/engine > bench.txt
+//	go run ./cmd/benchguard -baseline BENCH_engine.json bench.txt
+//
+// After an intentional change to the engine's allocation behavior,
+// regenerate the baseline (ceilings are re-pinned at 1.5x measured):
+//
+//	go run ./cmd/benchguard -baseline BENCH_engine.json -update bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	MaxAllocsPerOp int64   `json:"max_allocs_per_op"`
+}
+
+type baseline struct {
+	Note       string           `json:"note"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+type measurement struct {
+	nsPerOp     float64
+	allocsPerOp int64
+	hasAllocs   bool
+}
+
+// procSuffix strips the -<GOMAXPROCS> tail go test appends to benchmark
+// names (BenchmarkFig9/vecadd-8 -> BenchmarkFig9/vecadd).
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func parseBench(r io.Reader) (map[string]measurement, error) {
+	out := make(map[string]measurement)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		var m measurement
+		for i := 2; i < len(fields); i++ {
+			switch fields[i] {
+			case "ns/op":
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+				}
+				m.nsPerOp = v
+			case "allocs/op":
+				v, err := strconv.ParseInt(fields[i-1], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op in %q: %v", line, err)
+				}
+				m.allocsPerOp = v
+				m.hasAllocs = true
+			}
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_engine.json", "pinned baseline file")
+	update := flag.Bool("update", false, "rewrite the baseline from the measured run (ceilings re-pinned at 1.5x)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchguard [-baseline file] [-update] bench-output.txt|-\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(measured) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	var base baseline
+	if err == nil {
+		if jerr := json.Unmarshal(raw, &base); jerr != nil {
+			fatal(fmt.Errorf("%s: %v", *baselinePath, jerr))
+		}
+	} else if !*update {
+		fatal(err)
+	}
+
+	if *update {
+		if base.Benchmarks == nil {
+			base.Benchmarks = make(map[string]entry)
+		}
+		for name, m := range measured {
+			if !m.hasAllocs {
+				continue
+			}
+			base.Benchmarks[name] = entry{
+				NsPerOp:        m.nsPerOp,
+				AllocsPerOp:    m.allocsPerOp,
+				MaxAllocsPerOp: m.allocsPerOp + m.allocsPerOp/2,
+			}
+		}
+		buf, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*baselinePath, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: pinned %d benchmarks into %s\n", len(base.Benchmarks), *baselinePath)
+		return
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := measured[name]
+		if !ok {
+			fmt.Printf("FAIL  %-36s not present in this run (renamed or deleted? re-pin with -update)\n", name)
+			failed++
+			continue
+		}
+		if !got.hasAllocs {
+			fmt.Printf("FAIL  %-36s run without -benchmem (no allocs/op reported)\n", name)
+			failed++
+			continue
+		}
+		status := "ok  "
+		if got.allocsPerOp > want.MaxAllocsPerOp {
+			status = "FAIL"
+			failed++
+		}
+		speed := ""
+		if want.NsPerOp > 0 && got.nsPerOp > 0 {
+			speed = fmt.Sprintf("  (%.2fx baseline time, not gated)", got.nsPerOp/want.NsPerOp)
+		}
+		fmt.Printf("%s  %-36s %8d allocs/op  ceiling %8d%s\n",
+			status, name, got.allocsPerOp, want.MaxAllocsPerOp, speed)
+	}
+	for name, m := range measured {
+		if _, ok := base.Benchmarks[name]; !ok && m.hasAllocs {
+			fmt.Printf("note  %-36s %8d allocs/op  (unpinned; add with -update)\n", name, m.allocsPerOp)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchguard: %d benchmark(s) regressed above the allocation ceiling\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: all %d pinned benchmarks within allocation ceilings\n", len(names))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

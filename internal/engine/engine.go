@@ -14,6 +14,14 @@
 // DESIGN.md: instruction pipelines are abstracted into per-iteration
 // compute delays, but the memory system — the thing the paper's results
 // turn on — is modelled end to end.
+//
+// The event core is allocation-free in steady state: events live by value
+// in the scheduler's heap, and the per-transaction (txState), per-phase
+// (phaseRun) and per-threadblock (tbExec) state is recycled through
+// engine-owned free lists. The engine runs on a single goroutine, so the
+// free lists are plain slices — no sync.Pool, no locks. Debug and
+// telemetry hooks opt back into allocating closure wrappers; see DESIGN.md
+// "Allocation-free event core".
 package engine
 
 import (
@@ -50,6 +58,17 @@ type Engine struct {
 
 	sched scheduler
 	run   *stats.Run
+
+	// Free lists recycling the event core's per-transaction, per-phase
+	// and per-threadblock state. Single-goroutine, so plain slices.
+	txFree []*txState
+	prFree []*phaseRun
+	tbFree []*tbExec
+
+	// Per-node TB queue storage, reused across kernel launches and
+	// EffTimes() repetitions instead of reallocating every launch.
+	queues    [][]int32
+	queueBack [][]int32
 
 	// tel observes the run (nil: telemetry disabled; every hook is
 	// nil-safe and the engine's timing is identical either way).
@@ -118,6 +137,84 @@ func New(plan *runtime.Plan) *Engine {
 	}
 	e.tel.SetTopology(cfg.Nodes(), cfg.SMsPerChiplet)
 	return e
+}
+
+// acquireTx pops a recycled transaction state (or makes the pool's next).
+func (e *Engine) acquireTx() *txState {
+	if n := len(e.txFree); n > 0 {
+		st := e.txFree[n-1]
+		e.txFree = e.txFree[:n-1]
+		return st
+	}
+	return &txState{}
+}
+
+// releaseTx returns a retired transaction state to the free list. Safe
+// because the engine is single-goroutine and every reference to st is
+// dropped at its finish.
+func (e *Engine) releaseTx(st *txState) {
+	*st = txState{}
+	e.txFree = append(e.txFree, st)
+}
+
+// acquirePR pops a recycled phase state.
+func (e *Engine) acquirePR() *phaseRun {
+	if n := len(e.prFree); n > 0 {
+		p := e.prFree[n-1]
+		e.prFree = e.prFree[:n-1]
+		return p
+	}
+	return &phaseRun{}
+}
+
+// releasePR recycles a phase once it has finished AND its last in-flight
+// transaction (background stores included) has retired — before that,
+// outstanding txStates still point at it.
+func (e *Engine) releasePR(p *phaseRun) {
+	*p = phaseRun{}
+	e.prFree = append(e.prFree, p)
+}
+
+// acquireTB pops a recycled threadblock executor; its transaction buffer
+// rides along, so steady-state phases coalesce into warm backing arrays.
+func (e *Engine) acquireTB() *tbExec {
+	if n := len(e.tbFree); n > 0 {
+		x := e.tbFree[n-1]
+		e.tbFree = e.tbFree[:n-1]
+		return x
+	}
+	return &tbExec{}
+}
+
+// releaseTB recycles an executor whose node queue has drained, keeping
+// its buffer. Outstanding stores from the final phase reference their
+// phaseRun, not x, so clearing x here is safe.
+func (e *Engine) releaseTB(x *tbExec) {
+	buf := x.buf[:0]
+	*x = tbExec{buf: buf}
+	e.tbFree = append(e.tbFree, x)
+}
+
+// loadQueues copies the assignment's per-node TB queues into engine-owned
+// storage and returns the working queues plus the total TB count. Both the
+// outer header slice and each node's backing array are reused across
+// launches and EffTimes() repetitions: resident tbExecs hold pointers into
+// e.queues, and every launch drains fully before the next begins, so the
+// arrays are never live across a reload.
+func (e *Engine) loadQueues(src [][]int32) ([][]int32, int) {
+	if len(src) > len(e.queueBack) {
+		e.queueBack = make([][]int32, len(src))
+		e.queues = make([][]int32, len(src))
+	}
+	e.queues = e.queues[:len(src)]
+	total := 0
+	for i, q := range src {
+		buf := append(e.queueBack[i][:0], q...)
+		e.queueBack[i] = buf
+		e.queues[i] = buf
+		total += len(q)
+	}
+	return e.queues, total
 }
 
 // telSample snapshots every resource's cumulative counters at a sample
@@ -234,7 +331,10 @@ func (e *Engine) finalizeStats() {
 	}
 }
 
-// tbExec tracks one resident threadblock's progress.
+// tbExec tracks one resident threadblock's progress. Executors are pooled:
+// when a TB retires, the same tbExec is rebound in place to the node
+// queue's next TB (keeping its warm transaction buffer), and released to
+// the engine's free list only when the queue drains.
 type tbExec struct {
 	e    *Engine
 	gen  *trace.Generator
@@ -249,12 +349,15 @@ type tbExec struct {
 	stage    int // 0=pre, 1=loop, 2=post, 3=done
 	m        int
 
-	queue  *[]int32 // remaining TBs of this node
-	onDone func(t float64)
-	born   float64 // when the TB took its resident slot (telemetry)
+	queue *[]int32 // remaining TBs of this node
+	born  float64  // when the TB took its resident slot (telemetry)
 
 	buf []trace.Transaction
 }
+
+// run lets the scheduler dispatch the executor directly, with no per-step
+// closure.
+func (x *tbExec) run(t float64) { x.step(t) }
 
 // runKernel executes one kernel launch to completion.
 func (e *Engine) runKernel(gen *trace.Generator, lp *runtime.LaunchPlan) {
@@ -263,17 +366,10 @@ func (e *Engine) runKernel(gen *trace.Generator, lp *runtime.LaunchPlan) {
 	resident := e.cfg.ResidentTBs(warps)
 	start := e.sched.now
 
-	remaining := 0
-	queues := make([][]int32, len(lp.Assignment.Queues))
-	for i, q := range lp.Assignment.Queues {
-		queues[i] = append([]int32(nil), q...)
-		remaining += len(q)
-	}
+	queues, remaining := e.loadQueues(lp.Assignment.Queues)
 	if remaining == 0 {
 		return
 	}
-
-	done := func(float64) { remaining-- }
 
 	// Fill every SM's resident slots round-robin so load spreads evenly.
 	for slot := 0; slot < resident; slot++ {
@@ -284,14 +380,19 @@ func (e *Engine) runKernel(gen *trace.Generator, lp *runtime.LaunchPlan) {
 			}
 			tb := queues[node][0]
 			queues[node] = queues[node][1:]
-			ex := &tbExec{
-				e: e, gen: gen, lp: lp, k: k,
-				tb: int(tb), sm: sm, node: node,
-				warps: warps, resident: resident,
-				queue: &queues[node], onDone: done,
-				born: start,
-			}
-			e.sched.at(start, ex.step)
+			ex := e.acquireTB()
+			ex.e = e
+			ex.gen = gen
+			ex.lp = lp
+			ex.k = k
+			ex.tb = int(tb)
+			ex.sm = sm
+			ex.node = node
+			ex.warps = warps
+			ex.resident = resident
+			ex.queue = &queues[node]
+			ex.born = start
+			e.sched.schedule(start, ex)
 		}
 	}
 	e.sched.drain()
@@ -332,26 +433,24 @@ func (x *tbExec) phaseDone(end float64) {
 		x.stage = 3
 	}
 	if x.stage < 3 {
-		e.sched.at(end, x.step)
+		e.sched.schedule(end, x)
 		return
 	}
 
-	// Threadblock finished: free the slot and pull the next TB.
+	// Threadblock finished: free the slot and pull the next TB, rebinding
+	// this executor in place.
 	e.tel.TBSpan(x.k.Name, x.node, x.sm, x.tb, x.born, end)
-	x.onDone(end)
 	if len(*x.queue) > 0 {
 		tb := (*x.queue)[0]
 		*x.queue = (*x.queue)[1:]
-		next := &tbExec{
-			e: e, gen: x.gen, lp: x.lp, k: x.k,
-			tb: int(tb), sm: x.sm, node: x.node,
-			warps: x.warps, resident: x.resident,
-			queue: x.queue, onDone: x.onDone,
-			born: end,
-			buf:  x.buf[:0],
-		}
-		e.sched.at(end, next.step)
+		x.tb = int(tb)
+		x.stage = 0
+		x.m = 0
+		x.born = end
+		e.sched.schedule(end, x)
+		return
 	}
+	e.releaseTB(x)
 }
 
 // execPhase generates the phase's transactions and streams them through a
@@ -385,13 +484,17 @@ func (x *tbExec) execPhase(t0 float64, phase kir.Phase, m int) {
 	if window < 1 {
 		window = 1
 	}
-	pr := &phaseRun{
-		x:       x,
-		t0:      t0,
-		compute: compute,
-		txs:     append([]trace.Transaction(nil), x.buf...),
-		window:  window,
-	}
+	pr := e.acquirePR()
+	pr.e = e
+	pr.x = x
+	pr.t0 = t0
+	pr.compute = compute
+	// Hand the buffer off instead of copying: every transaction is issued
+	// (read out of txs) before the phase can end, and x refills buf only
+	// when its next phase begins — after this phase's phaseDone — so the
+	// backing array is never read and rewritten concurrently.
+	pr.txs = x.buf
+	pr.window = window
 	for i := range pr.txs {
 		if pr.txs[i].Mode == kir.Load {
 			pr.loadsTotal++
@@ -409,8 +512,10 @@ func (p *phaseRun) observe(end float64) {
 
 // phaseRun drives one memory phase: a sliding window of in-flight
 // transactions over the SM issue port, completion tracking, and the
-// barrier that ends the phase when all loads are back.
+// barrier that ends the phase when all loads are back. Pooled via the
+// engine's free list; recycled once finished with nothing in flight.
 type phaseRun struct {
+	e       *Engine
 	x       *tbExec
 	t0      float64
 	compute float64
@@ -432,7 +537,7 @@ type phaseRun struct {
 // runs out of work.
 func (p *phaseRun) issue(t float64) {
 	x := p.x
-	e := x.e
+	e := p.e
 	for p.inFlight < p.window && p.next < len(p.txs) {
 		tx := p.txs[p.next]
 		p.next++
@@ -442,14 +547,14 @@ func (p *phaseRun) issue(t float64) {
 			p.lastIssue = at
 		}
 		if debugTx != nil {
-			idx, txc, inner := p.next-1, tx, p.onTxDone
-			e.startTx(at, x.sm, x.node, tx, func(dt float64, blocks bool) {
+			idx, txc := p.next-1, tx
+			e.startTx(at, x.sm, x.node, tx, nil, func(dt float64, blocks bool) {
 				debugTx(x.tb, x.m, idx, &txc, at, dt)
-				inner(dt, blocks)
+				p.onTxDone(dt, blocks)
 			})
 			continue
 		}
-		e.startTx(at, x.sm, x.node, tx, p.onTxDone)
+		e.startTx(at, x.sm, x.node, tx, p, nil)
 	}
 	p.maybeFinish()
 }
@@ -464,6 +569,12 @@ func (p *phaseRun) onTxDone(t float64, blocks bool) {
 		}
 	}
 	p.issue(t)
+	// A finished phase lingers while background stores drain; the last
+	// retirement recycles it. (If maybeFinish inside issue just released
+	// p, its fields are zeroed and this check is safely false.)
+	if p.finished && p.inFlight == 0 {
+		p.e.releasePR(p)
+	}
 }
 
 // maybeFinish ends the phase once all transactions are issued and all
@@ -476,7 +587,11 @@ func (p *phaseRun) maybeFinish() {
 	p.finished = true
 	end := maxF(p.maxLoad, p.lastIssue) + p.compute
 	p.observe(end)
-	p.x.phaseDone(end)
+	x, e := p.x, p.e
+	if p.inFlight == 0 {
+		e.releasePR(p)
+	}
+	x.phaseDone(end)
 }
 
 // computeDelay returns the modelled compute time between memory phases.

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ladm/internal/arch"
+	"ladm/internal/kir"
+	"ladm/internal/runtime"
+)
+
+// TestRunRecordGolden pins the complete stats.Run record for representative
+// workloads at two scales. The goldens were generated from the seed
+// (pre-pooling) event core, so this test is the byte-identical equivalence
+// guard between the allocating and allocation-free engine paths: any change
+// to event ordering, timing arithmetic, or counter accounting shows up as a
+// golden diff. Regenerate (only when the model itself intentionally
+// changes) with:
+//
+//	go test ./internal/engine -run RunRecordGolden -update
+func TestRunRecordGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		w    *kir.Workload
+		cfg  arch.Config
+		pol  runtime.Policy
+	}{
+		{"vecadd64_ladm", vecAdd(64), arch.DefaultHierarchical(), runtime.LADM()},
+		{"vecadd256_ladm", vecAdd(256), arch.DefaultHierarchical(), runtime.LADM()},
+		{"strided256_rr", stridedScan(256, 8), arch.DefaultHierarchical(), runtime.BaselineRR()},
+		{"vecadd256_mono", vecAdd(256), arch.MonolithicGPU(), runtime.KernelWide()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := simulate(t, tc.w, tc.cfg, tc.pol)
+			got, err := json.MarshalIndent(run, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			golden := filepath.Join("testdata", "run_"+tc.name+".golden.json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("stats.Run record differs from seed golden (run with -update only if the timing model intentionally changed)\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}

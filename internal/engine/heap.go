@@ -1,37 +1,93 @@
 package engine
 
-import "container/heap"
+// The event core is allocation-free in steady state. Three things make
+// that work:
+//
+//  1. Events are values in one slice-backed binary heap, not *event
+//     pointers pushed through container/heap's `any` interface — no
+//     per-event allocation, no boxing, and the sift loops inline.
+//  2. The payload is a `runner` interface holding a pointer-shaped value
+//     (*txState, *tbExec, or a func). Go stores pointers and funcs
+//     directly in interface words, so scheduling never allocates; only
+//     constructing a fresh closure would, and the steady-state paths
+//     schedule pooled structs instead.
+//  3. The heap's backing array persists across kernel launches, so after
+//     warm-up a push is a bounds-checked append into existing capacity.
+//
+// Ordering is the strict total order (t, seq): seq is unique, so any
+// correct heap pops events in exactly the same sequence as the seed's
+// container/heap implementation — swapping the machinery cannot change
+// simulation results, which the golden run records pin.
+
+// runner is a scheduled event's payload.
+type runner interface {
+	run(t float64)
+}
+
+// funcEvent adapts an arbitrary callback to the runner interface for cold
+// paths (debug and telemetry wrappers, tests). The conversion itself does
+// not allocate; building the closure behind it usually does.
+type funcEvent func(t float64)
+
+func (f funcEvent) run(t float64) { f(t) }
 
 // event is one scheduled callback of the discrete-event core. Ties on time
 // break on sequence number so runs are bit-for-bit deterministic.
 type event struct {
 	t   float64
 	seq uint64
-	fn  func(t float64)
+	r   runner
 }
 
-type eventHeap []*event
+// eventHeap is a value-typed binary min-heap ordered on (t, seq).
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hh.less(i, parent) {
+			break
+		}
+		hh[i], hh[parent] = hh[parent], hh[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (h *eventHeap) pop() event {
+	hh := *h
+	n := len(hh) - 1
+	top := hh[0]
+	hh[0] = hh[n]
+	hh[n] = event{} // clear the runner word so the GC can reclaim it
+	hh = hh[:n]
+	*h = hh
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && hh.less(r, l) {
+			least = r
+		}
+		if !hh.less(least, i) {
+			break
+		}
+		hh[i], hh[least] = hh[least], hh[i]
+		i = least
+	}
+	return top
 }
 
 // scheduler wraps the heap with monotonic dispatch.
@@ -56,20 +112,28 @@ func (s *scheduler) startSampling(every float64, fn func(t float64)) {
 	s.sampleFn = fn
 }
 
-// at schedules fn to run at time t (clamped to now for past times).
-func (s *scheduler) at(t float64, fn func(t float64)) {
+// schedule queues r to run at time t (clamped to now for past times).
+// This is the hot-path entry: with a pooled payload it allocates nothing.
+func (s *scheduler) schedule(t float64, r runner) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{t: t, seq: s.seq, fn: fn})
+	s.events.push(event{t: t, seq: s.seq, r: r})
+}
+
+// at schedules fn to run at time t. Cold-path convenience for callbacks
+// that are not pooled runners (the closure fn allocates at its creation
+// site); steady-state simulation uses schedule instead.
+func (s *scheduler) at(t float64, fn func(t float64)) {
+	s.schedule(t, funcEvent(fn))
 }
 
 // drain runs events until the heap empties, returning the time of the last
 // event.
 func (s *scheduler) drain() float64 {
-	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(*event)
+	for len(s.events) > 0 {
+		ev := s.events.pop()
 		for s.sampleFn != nil && s.nextSample <= ev.t {
 			s.sampleFn(s.nextSample)
 			s.nextSample += s.sampleEvery
@@ -77,7 +141,7 @@ func (s *scheduler) drain() float64 {
 		if ev.t > s.now {
 			s.now = ev.t
 		}
-		ev.fn(s.now)
+		ev.r.run(s.now)
 	}
 	return s.now
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"math/bits"
+
 	"ladm/internal/kir"
 	"ladm/internal/mem/cache"
 	"ladm/internal/stats"
@@ -23,40 +25,128 @@ const reqHeaderBytes = 16
 // data (the dynamic shared L2 of Milic et al.); whether the *home* L2
 // also caches a remote-origin fill is the RTWICE/RONCE decision, taken
 // per data structure from the plan (LADM's CRB).
+//
+// Each hop used to be a fresh closure capturing the journey's state; at
+// millions of transactions per run that closure (plus its *event box) was
+// the simulator's dominant allocation. The journey now lives in a pooled
+// txState advanced by a stage tag: the same struct is rescheduled hop to
+// hop and returned to the engine's free list on retirement, so steady
+// state allocates nothing per transaction.
 
 // txDone receives a transaction's retirement time and whether the issuing
 // warp had to wait for it (loads block, stores are fire-and-forget).
+// Only the debug/telemetry wrapper path pays for this indirection; the
+// pooled fast path retires straight into its phaseRun.
 type txDone func(t float64, blocks bool)
 
+// txStage tags the next hop of a pooled transaction's journey.
+type txStage uint8
+
+const (
+	stageL1      txStage = iota // L1 lookup at the issuing SM
+	stageLocalL2                // requesting node's L2 slice
+	stageHome                   // home node's L2 slice + HBM
+	stageRespond                // response crossing the requester's fabric
+)
+
+// txState is one in-flight transaction's journey state. It is acquired
+// from the engine's free list at issue and released at retirement; the
+// engine is single-goroutine, so a plain slice free list suffices (no
+// sync.Pool, no locks).
+type txState struct {
+	e     *Engine
+	pr    *phaseRun // retirement target on the fast path
+	done  txDone    // non-nil: debug/telemetry wrapper path (overrides pr)
+	stage txStage
+
+	sm   int
+	node int
+	home int
+
+	tx       trace.Transaction
+	missMask cache.SectorMask
+	remMask  cache.SectorMask
+	bytes    int
+	remBytes int
+	isStore  bool
+}
+
+// run advances the transaction to the hop its stage tag names. It is the
+// scheduler's dispatch point, replacing the per-hop closures.
+func (st *txState) run(t float64) {
+	switch st.stage {
+	case stageL1:
+		st.e.txAtL1(t, st)
+	case stageLocalL2:
+		st.e.txAtLocalL2(t, st)
+	case stageHome:
+		st.e.txAtHome(t, st)
+	default: // stageRespond
+		st.finish(st.e.net.IntraNode(t, st.node, st.remBytes), true)
+	}
+}
+
+// finish retires the transaction and recycles its state. The state is
+// released before the completion handler runs: the handler may issue new
+// transactions, and those should be able to reuse this slot.
+func (st *txState) finish(t float64, blocks bool) {
+	e := st.e
+	pr, done := st.pr, st.done
+	e.releaseTx(st)
+	if done != nil {
+		done(t, blocks)
+		return
+	}
+	pr.onTxDone(t, blocks)
+}
+
 // startTx schedules the transaction's journey beginning at its issue time.
-// tx is captured by value: the caller's buffer may be reused.
-func (e *Engine) startTx(at float64, sm, node int, tx trace.Transaction, done txDone) {
+// tx is captured by value: the caller's buffer may be reused. Retirement
+// reports to pr; a non-nil done overrides it (the debug hook's wrapper
+// path, which may allocate — it is not steady state).
+func (e *Engine) startTx(at float64, sm, node int, tx trace.Transaction, pr *phaseRun, done txDone) {
+	st := e.acquireTx()
+	st.e = e
+	st.pr = pr
+	st.done = done
+	st.stage = stageL1
+	st.sm = sm
+	st.node = node
+	st.tx = tx
 	if e.tel.TxTracing() {
-		inner := done
+		// Telemetry opts back into the wrapper path: the span closure
+		// allocates, which is acceptable when tracing is on.
+		inner, innerPR := done, pr
 		bytes := pop(cache.SectorMask(tx.Mask)) * e.cfg.SectorBytes
 		store := tx.Mode == kir.Store
-		done = func(t float64, blocks bool) {
+		st.pr = nil
+		st.done = func(t float64, blocks bool) {
 			e.tel.TxSpan(node, sm, bytes, store, at, t)
-			inner(t, blocks)
+			if inner != nil {
+				inner(t, blocks)
+				return
+			}
+			innerPR.onTxDone(t, blocks)
 		}
 	}
-	e.sched.at(at, func(t float64) { e.txAtL1(t, sm, node, tx, done) })
+	e.sched.schedule(at, st)
 }
 
 // txAtL1 runs the L1 lookup and, on a miss, forwards the request across
 // the node fabric to the local L2 slice.
-func (e *Engine) txAtL1(t float64, sm, node int, tx trace.Transaction, done txDone) {
-	mask := cache.SectorMask(tx.Mask)
-	isStore := tx.Mode == kir.Store
+func (e *Engine) txAtL1(t float64, st *txState) {
+	mask := cache.SectorMask(st.tx.Mask)
+	isStore := st.tx.Mode == kir.Store
 	cfg := e.cfg
+	sm, node := st.sm, st.node
 
 	missMask := mask
 	if !isStore {
-		res := e.l1[sm].Access(tx.Addr, mask, true, false)
+		res := e.l1[sm].Access(st.tx.Addr, mask, true, false)
 		e.run.L1Sectors += uint64(pop(mask))
 		e.run.L1Hits += uint64(pop(res.HitMask))
 		if res.MissMask == 0 {
-			done(t+float64(cfg.L1Lat), true)
+			st.finish(t+float64(cfg.L1Lat), true)
 			return
 		}
 		missMask = res.MissMask
@@ -65,10 +155,10 @@ func (e *Engine) txAtL1(t float64, sm, node int, tx trace.Transaction, done txDo
 	bytes := pop(missMask) * cfg.SectorBytes
 
 	// Page home resolution (first-touch faults happen here).
-	home := e.plan.Space.Home(tx.Addr)
+	home := e.plan.Space.Home(st.tx.Addr)
 	t += float64(cfg.L1Lat)
 	if home < 0 {
-		e.plan.Space.TouchFirst(tx.Addr, node)
+		e.plan.Space.TouchFirst(st.tx.Addr, node)
 		home = node
 		e.run.PageFaults++
 		t += e.plan.FaultCycles
@@ -79,7 +169,7 @@ func (e *Engine) txAtL1(t float64, sm, node int, tx trace.Transaction, done txDo
 	// transfer with earlier threadblocks, so only the bandwidth is charged;
 	// reactive demand paging exposes the full fault latency.
 	if !e.residency.Unlimited() {
-		if fetched, _ := e.residency.Touch(home, int(tx.Addr/cfg.PageBytes)); fetched {
+		if fetched, _ := e.residency.Touch(home, int(st.tx.Addr/cfg.PageBytes)); fetched {
 			gpu := cfg.GPUOfNode(home)
 			done := e.hostLink[gpu].Serve(t, int(cfg.PageBytes))
 			e.run.HostBytes += uint64(cfg.PageBytes)
@@ -98,20 +188,24 @@ func (e *Engine) txAtL1(t float64, sm, node int, tx trace.Transaction, done txDo
 	// Every L1 miss crosses the SM<->L2 fabric of the requesting node.
 	e.run.LocalBytes += uint64(bytes)
 	t = e.net.IntraNode(t, node, bytes)
-	e.sched.at(t, func(t float64) {
-		e.txAtLocalL2(t, node, home, tx, missMask, bytes, isStore, done)
-	})
+	st.stage = stageLocalL2
+	st.home = home
+	st.missMask = missMask
+	st.bytes = bytes
+	st.isStore = isStore
+	e.sched.schedule(t, st)
 }
 
 // txAtLocalL2 services the request at the requesting node's L2 slice:
 // the whole story for node-local data, the "cache remote data locally"
 // lookup for remote data.
-func (e *Engine) txAtLocalL2(t float64, node, home int, tx trace.Transaction,
-	missMask cache.SectorMask, bytes int, isStore bool, done txDone) {
+func (e *Engine) txAtLocalL2(t float64, st *txState) {
 	cfg := e.cfg
+	node, home, isStore := st.node, st.home, st.isStore
+	missMask, bytes := st.missMask, st.bytes
 
 	if home == node {
-		res := e.l2[node].Access(tx.Addr, missMask, true, isStore)
+		res := e.l2[node].Access(st.tx.Addr, missMask, true, isStore)
 		cat := &e.run.L2[stats.LocalLocal]
 		cat.Sectors += uint64(pop(missMask))
 		cat.Hits += uint64(pop(res.HitMask))
@@ -125,23 +219,23 @@ func (e *Engine) txAtLocalL2(t float64, node, home int, tx trace.Transaction,
 			e.run.L2SectorMisses += uint64(miss)
 			dBytes := miss * cfg.SectorBytes
 			e.run.DRAMBytes += uint64(dBytes)
-			t = e.hbm[node].Access(t, tx.Addr, dBytes, isStore)
+			t = e.hbm[node].Access(t, st.tx.Addr, dBytes, isStore)
 		}
-		done(t, !isStore)
+		st.finish(t, !isStore)
 		return
 	}
 
 	remMask := missMask
 	if !isStore {
 		// Requester-side L2 caches remote data.
-		res := e.l2[node].Access(tx.Addr, missMask, true, false)
+		res := e.l2[node].Access(st.tx.Addr, missMask, true, false)
 		cat := &e.run.L2[stats.LocalRemote]
 		cat.Sectors += uint64(pop(missMask))
 		cat.Hits += uint64(pop(res.HitMask))
 		t = e.l2srv[node].Serve(t, bytes) + float64(cfg.L2Lat)
 		e.writeback(t, node, res)
 		if res.MissMask == 0 {
-			done(t, true)
+			st.finish(t, true)
 			return
 		}
 		remMask = res.MissMask
@@ -155,21 +249,23 @@ func (e *Engine) txAtLocalL2(t float64, node, home int, tx trace.Transaction,
 		reqBytes += remBytes
 	}
 	t, _ = e.net.Transfer(t, node, home, reqBytes)
-	e.sched.at(t, func(t float64) {
-		e.txAtHome(t, node, home, tx, remMask, remBytes, isStore, done)
-	})
+	st.stage = stageHome
+	st.remMask = remMask
+	st.remBytes = remBytes
+	e.sched.schedule(t, st)
 }
 
 // txAtHome services the request at the data's home node and, for loads,
 // sends the response back to the requester.
-func (e *Engine) txAtHome(t float64, node, home int, tx trace.Transaction,
-	remMask cache.SectorMask, remBytes int, isStore bool, done txDone) {
+func (e *Engine) txAtHome(t float64, st *txState) {
 	cfg := e.cfg
+	node, home, isStore := st.node, st.home, st.isStore
+	remMask, remBytes := st.remMask, st.remBytes
 
 	// RONCE structures bypass allocation for remote-origin read fills;
 	// stores always land (the home L2 is the line's point of coherence).
-	allocate := isStore || !e.plan.RemoteOnce[tx.Alloc.ID]
-	hres := e.l2[home].Access(tx.Addr, remMask, allocate, isStore)
+	allocate := isStore || !e.plan.RemoteOnce[st.tx.Alloc.ID]
+	hres := e.l2[home].Access(st.tx.Addr, remMask, allocate, isStore)
 	hcat := &e.run.L2[stats.RemoteLocal]
 	hcat.Sectors += uint64(pop(remMask))
 	hcat.Hits += uint64(pop(hres.HitMask))
@@ -180,19 +276,18 @@ func (e *Engine) txAtHome(t float64, node, home int, tx trace.Transaction,
 		miss := pop(hres.MissMask)
 		dBytes := miss * cfg.SectorBytes
 		e.run.DRAMBytes += uint64(dBytes)
-		t = e.hbm[home].Access(t, tx.Addr, dBytes, isStore)
+		t = e.hbm[home].Access(t, st.tx.Addr, dBytes, isStore)
 	}
 
 	if isStore {
-		done(t, false)
+		st.finish(t, false)
 		return
 	}
 	// Response with the data travels back and crosses the requester's
 	// intra-node fabric to the SM.
 	t, _ = e.net.Transfer(t, home, node, remBytes+reqHeaderBytes)
-	e.sched.at(t, func(t float64) {
-		done(e.net.IntraNode(t, node, remBytes), true)
-	})
+	st.stage = stageRespond
+	e.sched.schedule(t, st)
 }
 
 // writeback retires a dirty eviction to the evicting node's DRAM. Dirty
@@ -209,9 +304,5 @@ func (e *Engine) writeback(t float64, node int, res cache.Result) {
 }
 
 func pop(m cache.SectorMask) int {
-	n := 0
-	for ; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
+	return bits.OnesCount8(uint8(m))
 }

@@ -10,7 +10,10 @@
 // allocate=false for remote-origin fills at the home node under RONCE.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // SectorMask is a bitmask over the sectors of one line (bit i = sector i).
 type SectorMask uint8
@@ -275,9 +278,5 @@ func (c *Cache) LiveLines() int {
 }
 
 func popcount(m SectorMask) int {
-	n := 0
-	for ; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
+	return bits.OnesCount8(uint8(m))
 }

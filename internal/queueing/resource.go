@@ -40,6 +40,11 @@ func (r *Resource) Rate() float64 { return r.rate }
 // Serve schedules a transfer of bytes arriving at now and returns the time
 // the last byte has been transferred. Zero-byte transfers complete
 // immediately at max(now, nextFree) without occupying the resource.
+//
+// Serve sits on the engine's per-event hot path (every transaction crosses
+// several resources per hop) and must stay allocation-free — the engine's
+// steady state allocates nothing per simulated event, and
+// TestServeDoesNotAllocate guards this end of the contract.
 func (r *Resource) Serve(now float64, bytes int) (done float64) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("queueing: negative transfer on %s", r.name))

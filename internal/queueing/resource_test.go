@@ -121,3 +121,30 @@ func TestResourceProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestServeDoesNotAllocate pins the hot-path half of the engine's
+// zero-allocation contract: booking bandwidth on a resource must never
+// allocate, whatever mix of backlogged and idle arrivals it sees.
+func TestServeDoesNotAllocate(t *testing.T) {
+	res := NewResource("hot", 32)
+	now := 0.0
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			now = res.Serve(now, i%7*16)
+			_ = res.QueueDelay(now)
+			_ = res.Backlog(now)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Serve/QueueDelay allocate %.1f objects per burst, want 0", avg)
+	}
+}
+
+func BenchmarkServe(b *testing.B) {
+	res := NewResource("bench", 32)
+	b.ReportAllocs()
+	now := 0.0
+	for i := 0; i < b.N; i++ {
+		now = res.Serve(now, 64)
+	}
+}

@@ -13,6 +13,7 @@ package trace
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ladm/internal/kir"
 	"ladm/internal/mem/page"
@@ -131,6 +132,14 @@ func (g *Generator) setThread(tbLinear, t int) {
 // returns the extended slice together with the number of warp memory
 // instructions represented (one per access site that had any active
 // thread; predicated-off warps still count as issued instructions).
+//
+// Buffer contract: the generator only appends to out and never retains it,
+// so callers may recycle one buffer across phases and even hand the filled
+// slice to a consumer without copying — provided the consumer reads every
+// element before the caller truncates and refills the buffer. The engine's
+// phaseRun relies on exactly this: a phase issues all its transactions
+// before it ends, and the buffer is refilled only when the next phase
+// begins.
 func (g *Generator) WarpTransactions(tbLinear, warp, m int, phase kir.Phase, out []Transaction) ([]Transaction, int) {
 	threads := g.k.Block.Count()
 	lo := warp * g.warpSize
@@ -216,11 +225,7 @@ func (g *Generator) FinalizeBytes(txs []Transaction) {
 }
 
 func popcount8(m uint8) int {
-	n := 0
-	for ; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
+	return bits.OnesCount8(m)
 }
 
 func maxInt(a, b int) int {
