@@ -6,6 +6,7 @@
 //	ladmbench -experiment fig9 -scale 4  # one figure, bigger inputs
 //	ladmbench -experiment fig11 -full    # paper-size inputs (slow)
 //	ladmbench -experiment fig4 -workloads vecadd,sq-gemm
+//	ladmbench -experiment all -store-dir ./results  # resumable campaign
 //
 // Experiments: table1 table2 table3 table4 fig4 fig9 fig10 fig11 hwvalid
 // oversub scaling
@@ -34,6 +35,10 @@ func main() {
 	workloads := flag.String("workloads", "", "comma-separated workload subset")
 	csvPath := flag.String("csv", "", "append structured metric values to a CSV file")
 	metrics := flag.Bool("metrics", false, "print pool metrics (Prometheus text) after the run")
+	storeDir := flag.String("store-dir", "",
+		"durable result store: registry-named cells are served from disk and a killed campaign resumes with only the missing cells")
+	storeMax := flag.Int64("store-max-bytes", 0,
+		"size cap for the durable store (0 = unlimited)")
 	flag.Parse()
 
 	// One pool serves every experiment of the campaign, so queueing,
@@ -44,6 +49,25 @@ func main() {
 	o := experiments.Options{Scale: *scale, Workers: *workers, Runner: pool}
 	if *full {
 		o.Scale = 1
+	}
+
+	var store *simsvc.DiskStore
+	if *storeDir != "" {
+		var err error
+		store, err = simsvc.NewDiskStore(*storeDir, *storeMax, "ladmbench",
+			func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ladmbench: "+format+"\n", args...)
+			})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ladmbench: result store unavailable, running store-less: %v\n", err)
+		} else {
+			cache := simsvc.NewCache(pool.Metrics())
+			cache.SetStore(store)
+			o.Runner = &simsvc.CachedRunner{Inner: pool, Cache: cache, Scale: o.Scale}
+			st := store.Store.Stats()
+			fmt.Fprintf(os.Stderr, "ladmbench: result store %s: %d records, %d bytes\n",
+				*storeDir, st.Records, st.Bytes)
+		}
 	}
 	if *workloads != "" {
 		o.Workloads = strings.Split(*workloads, ",")
@@ -77,8 +101,16 @@ func main() {
 			}
 		}
 	}
+	// Flush pending write-backs so every completed cell survives into the
+	// next invocation.
+	if store != nil {
+		store.Close()
+	}
 	if *metrics {
 		pool.Metrics().WriteProm(os.Stdout)
+		if store != nil {
+			simsvc.WriteStoreProm(os.Stdout, store.Store.Stats())
+		}
 	}
 }
 

@@ -7,6 +7,8 @@
 //	ladmserve -addr :9000 -workers 4 -queue 64
 //	ladmserve -pprof               # also mount /debug/pprof/
 //	ladmserve -retain-jobs 1000 -retain-ttl 1h
+//	ladmserve -store-dir /var/lib/ladm -store-max-bytes 256000000
+//	ladmserve -job-timeout 2m -drain-timeout 30s
 //
 // Endpoints:
 //
@@ -24,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,12 +49,40 @@ func main() {
 		"max finished jobs kept in the registry (0 = unlimited)")
 	retainTTL := flag.Duration("retain-ttl", 0,
 		"drop finished jobs older than this (0 = no TTL)")
+	storeDir := flag.String("store-dir", "",
+		"directory for the durable result store (empty = memory-only cache)")
+	storeMax := flag.Int64("store-max-bytes", 0,
+		"size cap for the durable store; LRU records beyond it are evicted (0 = unlimited)")
+	jobTimeout := flag.Duration("job-timeout", 0,
+		"per-job execution deadline (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"on SIGTERM/SIGINT, wait this long for in-flight requests to finish")
+	maxBody := flag.Int64("max-body", simsvc.DefaultMaxBody,
+		"request body cap in bytes for POST endpoints")
 	flag.Parse()
 
 	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: *workers, QueueDepth: *queue})
 	defer pool.Close()
 	server := simsvc.NewServer(pool)
 	server.SetRetention(*retainJobs, *retainTTL)
+	server.SetJobTimeout(*jobTimeout)
+	server.SetMaxBody(*maxBody)
+
+	var store *simsvc.DiskStore
+	if *storeDir != "" {
+		var err error
+		store, err = simsvc.NewDiskStore(*storeDir, *storeMax, "ladmserve", log.Printf)
+		if err != nil {
+			// Degrade, don't die: a service that cannot persist results is
+			// still a working service, just a slower one after restarts.
+			log.Printf("ladmserve: result store unavailable, running store-less: %v", err)
+		} else {
+			server.SetStore(store)
+			st := store.Store.Stats()
+			log.Printf("ladmserve: result store %s: %d records, %d bytes, healthy=%t",
+				*storeDir, st.Records, st.Bytes, st.Healthy)
+		}
+	}
 
 	root := http.NewServeMux()
 	root.Handle("/", server.Handler())
@@ -73,17 +104,37 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
 	go func() {
 		<-stop
-		log.Println("ladmserve: shutting down")
-		httpSrv.Close()
+		log.Printf("ladmserve: draining (up to %s) before shutdown", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Stop accepting, let in-flight requests finish (or hit the drain
+		// deadline), then tear down hard so nothing lingers.
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("ladmserve: drain incomplete: %v", err)
+			httpSrv.Close()
+		}
+		close(drained)
 	}()
 
 	log.Printf("ladmserve: listening on %s (%d workers)", *addr, pool.Workers())
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	err := httpSrv.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "ladmserve:", err)
 		os.Exit(1)
 	}
+	if err == http.ErrServerClosed {
+		<-drained
+	}
+	// Flush the store's pending write-backs before exiting: a record the
+	// client already saw must survive the restart.
+	pool.Close()
+	if store != nil {
+		store.Close()
+	}
+	log.Println("ladmserve: shutdown complete")
 }
 
 func logRequests(next http.Handler) http.Handler {

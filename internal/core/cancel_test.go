@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"ladm/internal/arch"
+	"ladm/internal/kernels"
+	rt "ladm/internal/runtime"
+)
+
+// bigJob returns a job whose first kernel dispatches more events than
+// the engine's interrupt polling granularity, so cancellation is
+// guaranteed to be observed mid-kernel.
+func bigJob(t *testing.T) Job {
+	t.Helper()
+	spec, err := kernels.ByName("vecadd", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{Workload: spec.W, Policy: rt.LADM(), Arch: arch.DefaultHierarchical()}
+}
+
+func TestSimulateJobContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run, err := SimulateJobContext(ctx, bigJob(t))
+	if run != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled job: run=%v err=%v, want nil + context.Canceled", run, err)
+	}
+}
+
+func TestSimulateJobContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	run, err := SimulateJobContext(ctx, bigJob(t))
+	if run != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out job: run=%v err=%v, want nil + DeadlineExceeded", run, err)
+	}
+}
+
+// TestSimulateJobContextBackgroundMatchesPlain: threading a context
+// through the pipeline must not change results — the record from a
+// Background-context run is byte-identical to the plain entry point's.
+func TestSimulateJobContextBackgroundMatchesPlain(t *testing.T) {
+	spec, err := kernels.ByName("vecadd", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{Workload: spec.W, Policy: rt.LADM(), Arch: arch.DefaultHierarchical()}
+	plain, err := SimulateJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := kernels.ByName("vecadd", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job2 := Job{Workload: spec2.W, Policy: rt.LADM(), Arch: arch.DefaultHierarchical()}
+	ctxed, err := SimulateJobContext(context.Background(), job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(plain)
+	b, _ := json.Marshal(ctxed)
+	if string(a) != string(b) {
+		t.Errorf("records differ:\n%s\n%s", a, b)
+	}
+}

@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -39,13 +41,28 @@ func Simulate(w *kir.Workload, cfg arch.Config, pol rt.Policy) (*stats.Run, erro
 // SimulateJob runs the full pipeline for one job, threading its
 // telemetry collector (if any) through to the engine.
 func SimulateJob(j Job) (*stats.Run, error) {
+	return SimulateJobContext(context.Background(), j)
+}
+
+// SimulateJobContext runs the full pipeline for one job, aborting the
+// engine when ctx is canceled or its deadline expires: the engine polls
+// ctx.Done() every few tens of thousands of events, so a pathological
+// job releases its worker quickly instead of simulating to completion.
+// A background context compiles the check away (Done() is nil).
+func SimulateJobContext(ctx context.Context, j Job) (*stats.Run, error) {
 	plan, err := rt.Prepare(j.Workload, &j.Arch, j.Policy)
 	if err != nil {
 		return nil, fmt.Errorf("core: prepare %s/%s: %w", j.Workload.Name, j.Policy.Name, err)
 	}
 	plan.Tel = j.Tel
+	plan.Interrupt = ctx.Done()
 	run, err := engine.New(plan).Run()
 	if err != nil {
+		if errors.Is(err, engine.ErrInterrupted) {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+			}
+		}
 		return nil, fmt.Errorf("core: simulate %s/%s: %w", j.Workload.Name, j.Policy.Name, err)
 	}
 	return run, nil

@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"ladm/internal/arch"
@@ -132,6 +133,7 @@ func New(plan *runtime.Plan) *Engine {
 			fmt.Sprintf("host.g%d", gpu), cfg.BytesPerCycle(cfg.HostLinkGBs)))
 	}
 	e.tel = plan.Tel
+	e.sched.interrupt = plan.Interrupt
 	if e.tel.Sampling() {
 		e.sched.startSampling(e.tel.SampleEvery(), e.telSample)
 	}
@@ -254,6 +256,11 @@ func (e *Engine) telSample(t float64) {
 	e.tel.Record(cum)
 }
 
+// ErrInterrupted reports that a simulation stopped early because the
+// plan's Interrupt channel closed (a canceled or timed-out job). The
+// partial measurements are discarded — an interrupted run has no result.
+var ErrInterrupted = errors.New("engine: simulation interrupted")
+
 // Run simulates every launch of the plan's workload and returns the
 // aggregated measurements.
 func (e *Engine) Run() (*stats.Run, error) {
@@ -266,6 +273,9 @@ func (e *Engine) Run() (*stats.Run, error) {
 		}
 		for rep := 0; rep < lp.Launch.EffTimes(); rep++ {
 			e.runKernel(gen, &lp)
+			if e.sched.stopped {
+				return nil, ErrInterrupted
+			}
 			e.flushL2s()
 		}
 	}

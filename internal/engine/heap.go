@@ -103,7 +103,21 @@ type scheduler struct {
 	sampleFn    func(t float64)
 	sampleEvery float64
 	nextSample  float64
+
+	// interrupt, when non-nil, aborts drain: it is polled every
+	// interruptCheckEvery events (a counter increment and branch on the
+	// hot path, a channel poll only at the mask boundary), so a canceled
+	// job releases its worker within a bounded number of events instead
+	// of simulating to completion. An uninterrupted run dispatches the
+	// exact same event sequence whether the channel is armed or not.
+	interrupt  <-chan struct{}
+	stopped    bool
+	dispatched uint64
 }
+
+// interruptCheckEvery is the event-count granularity of cancellation
+// polling. Power of two so the check compiles to a mask.
+const interruptCheckEvery = 1 << 16
 
 // startSampling arms the periodic telemetry hook.
 func (s *scheduler) startSampling(every float64, fn func(t float64)) {
@@ -130,9 +144,23 @@ func (s *scheduler) at(t float64, fn func(t float64)) {
 }
 
 // drain runs events until the heap empties, returning the time of the last
-// event.
+// event. With an armed interrupt channel it may instead stop early,
+// setting s.stopped and discarding the remaining events.
 func (s *scheduler) drain() float64 {
 	for len(s.events) > 0 {
+		if s.interrupt != nil {
+			s.dispatched++
+			if s.dispatched&(interruptCheckEvery-1) == 0 {
+				select {
+				case <-s.interrupt:
+					s.stopped = true
+					clear(s.events)
+					s.events = s.events[:0]
+					return s.now
+				default:
+				}
+			}
+		}
 		ev := s.events.pop()
 		for s.sampleFn != nil && s.nextSample <= ev.t {
 			s.sampleFn(s.nextSample)

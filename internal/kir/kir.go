@@ -12,6 +12,7 @@ package kir
 
 import (
 	"fmt"
+	"reflect"
 
 	"ladm/internal/symbolic"
 )
@@ -297,6 +298,75 @@ func (w *Workload) Alloc(id string) *AllocSpec {
 		}
 	}
 	return nil
+}
+
+// Equal reports whether two workloads describe the same benchmark — the
+// same allocations, launches, kernels, symbolic accesses and backing
+// tables. It exists so a sweep job can be safely identified with a
+// registry-built workload (and thus with a cacheable content key): a
+// mutated copy (changed launch repetitions, patched tables, resized
+// grids) compares unequal and falls off the cached path.
+//
+// Kernel definitions are pure data except ItersForTB, a function;
+// functions have no useful equality, so it is compared pointwise over
+// its whole finite domain (the kernel's grid). Two kernels that agree
+// everywhere on that domain behave identically in the simulator.
+func Equal(a, b *Workload) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Name != b.Name || a.Suite != b.Suite {
+		return false
+	}
+	if !reflect.DeepEqual(a.Allocs, b.Allocs) || !reflect.DeepEqual(a.Tables, b.Tables) {
+		return false
+	}
+	if len(a.Launches) != len(b.Launches) {
+		return false
+	}
+	for i := range a.Launches {
+		if a.Launches[i].Times != b.Launches[i].Times {
+			return false
+		}
+		if !kernelEqual(a.Launches[i].Kernel, b.Launches[i].Kernel) {
+			return false
+		}
+	}
+	return true
+}
+
+func kernelEqual(a, b *Kernel) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Name != b.Name || a.Grid != b.Grid || a.Block != b.Block ||
+		a.Iters != b.Iters || a.ALUPerIter != b.ALUPerIter ||
+		a.ComputeCyclesPerIter != b.ComputeCyclesPerIter {
+		return false
+	}
+	if !reflect.DeepEqual(a.Lets, b.Lets) || !reflect.DeepEqual(a.Params, b.Params) {
+		return false
+	}
+	if !reflect.DeepEqual(a.Accesses, b.Accesses) {
+		return false
+	}
+	if (a.ItersForTB == nil) != (b.ItersForTB == nil) {
+		return false
+	}
+	if a.ItersForTB != nil {
+		for tb, n := 0, a.Grid.Count(); tb < n; tb++ {
+			if a.ItersForTB(tb) != b.ItersForTB(tb) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // TotalBytes returns the workload's total allocation footprint.

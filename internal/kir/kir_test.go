@@ -228,3 +228,50 @@ func TestEffItersFor(t *testing.T) {
 		t.Errorf("floor of 1: %d", got)
 	}
 }
+
+func TestEqual(t *testing.T) {
+	if !Equal(vecAddWorkload(), vecAddWorkload()) {
+		t.Fatal("identical builds compare unequal")
+	}
+	if Equal(vecAddWorkload(), nil) || !Equal(nil, nil) {
+		t.Error("nil handling")
+	}
+
+	// Each single-field mutation must break equality.
+	mutations := []struct {
+		name string
+		mut  func(w *Workload)
+	}{
+		{"name", func(w *Workload) { w.Name = "other" }},
+		{"times", func(w *Workload) { w.Launches[0].Times = 3 }},
+		{"grid", func(w *Workload) { w.Launches[0].Kernel.Grid = Dim1(32) }},
+		{"iters", func(w *Workload) { w.Launches[0].Kernel.Iters = 7 }},
+		{"alloc", func(w *Workload) { w.Allocs[0].Bytes *= 2 }},
+		{"access", func(w *Workload) { w.Launches[0].Kernel.Accesses[0].ElemSize = 8 }},
+		{"extra launch", func(w *Workload) { w.Launches = append(w.Launches, Launch{Kernel: vecAddKernel()}) }},
+	}
+	for _, m := range mutations {
+		w := vecAddWorkload()
+		m.mut(w)
+		if Equal(vecAddWorkload(), w) {
+			t.Errorf("%s mutation not detected", m.name)
+		}
+	}
+
+	// ItersForTB is a func field: DeepEqual cannot compare it, Equal
+	// compares it pointwise over the grid domain.
+	a, b := vecAddWorkload(), vecAddWorkload()
+	a.Launches[0].Kernel.ItersForTB = func(tb int) int { return tb + 1 }
+	b.Launches[0].Kernel.ItersForTB = func(tb int) int { return tb + 1 }
+	if !Equal(a, b) {
+		t.Error("pointwise-identical ItersForTB compared unequal")
+	}
+	b.Launches[0].Kernel.ItersForTB = func(tb int) int { return tb + 2 }
+	if Equal(a, b) {
+		t.Error("diverging ItersForTB not detected")
+	}
+	b.Launches[0].Kernel.ItersForTB = nil
+	if Equal(a, b) || Equal(b, a) {
+		t.Error("nil vs non-nil ItersForTB not detected")
+	}
+}

@@ -45,6 +45,12 @@ type Plan struct {
 	// simulated-time utilization series and/or records trace spans into
 	// it. Telemetry is a pure observer — it never changes cycle counts.
 	Tel *simtel.Collector
+
+	// Interrupt, when non-nil, aborts the simulation when the channel
+	// closes (typically a context's Done): the engine returns
+	// engine.ErrInterrupted instead of running to completion. It never
+	// affects the results of a run it does not stop.
+	Interrupt <-chan struct{}
 }
 
 // faultCostCycles is the modelled first-touch fault cost: 25 microseconds

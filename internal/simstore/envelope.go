@@ -1,0 +1,109 @@
+package simstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"ladm/internal/stats"
+)
+
+// The on-disk record format is a self-describing envelope: one JSON
+// header line, a newline, then the raw payload bytes. The header names
+// the format (magic + version), the key schema of the producing service,
+// the content key, a CRC-32C (Castagnoli) of the payload and its exact
+// length, plus run provenance. Everything a reader needs to decide
+// whether the record is trustworthy is in the header; everything it
+// needs to detect rot is the checksum. A record that fails any of these
+// checks is corrupt — never a parse panic, never a partial result.
+
+// Magic identifies a simstore envelope; Version the header layout.
+const (
+	Magic   = "ladm-simstore"
+	Version = 1
+)
+
+// castagnoli is the CRC-32C table used for payload checksums (the same
+// polynomial storage systems like ext4 and iSCSI use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Header is the envelope's self-description.
+type Header struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	// Schema is the producer's key schema (e.g. "simsvc/v2"): payloads
+	// only mean what the key says while the schema matches.
+	Schema string `json:"schema"`
+	// Key is the content hash the payload is stored under.
+	Key string `json:"key"`
+	// CRC32C is the Castagnoli checksum of the payload bytes.
+	CRC32C uint32 `json:"crc32c"`
+	// Len is the payload's exact byte length.
+	Len int `json:"len"`
+	// Provenance identifies the producing process.
+	Provenance stats.Provenance `json:"provenance"`
+}
+
+// CorruptError describes a record that failed envelope validation. It is
+// a diagnosis, not a failure mode: callers quarantine the record and
+// recompute.
+type CorruptError struct {
+	Reason string
+}
+
+func (e *CorruptError) Error() string { return "simstore: corrupt record: " + e.Reason }
+
+func corrupt(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// EncodeEnvelope serializes payload under key into the on-disk format.
+func EncodeEnvelope(key, schema string, payload []byte, prov stats.Provenance) ([]byte, error) {
+	hdr := Header{
+		Magic:      Magic,
+		Version:    Version,
+		Schema:     schema,
+		Key:        key,
+		CRC32C:     crc32.Checksum(payload, castagnoli),
+		Len:        len(payload),
+		Provenance: prov,
+	}
+	head, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("simstore: encode header: %w", err)
+	}
+	buf := make([]byte, 0, len(head)+1+len(payload))
+	buf = append(buf, head...)
+	buf = append(buf, '\n')
+	buf = append(buf, payload...)
+	return buf, nil
+}
+
+// DecodeEnvelope parses and validates an on-disk record. It returns a
+// *CorruptError for any malformed, truncated, mis-keyed, mis-schemed or
+// checksum-failing input — the caller's cue to quarantine.
+func DecodeEnvelope(data []byte) (Header, []byte, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return Header{}, nil, corrupt("no header/payload separator")
+	}
+	var hdr Header
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return Header{}, nil, corrupt("unparseable header: %v", err)
+	}
+	if hdr.Magic != Magic {
+		return Header{}, nil, corrupt("bad magic %q", hdr.Magic)
+	}
+	if hdr.Version != Version {
+		return Header{}, nil, corrupt("unsupported version %d", hdr.Version)
+	}
+	payload := data[nl+1:]
+	if len(payload) != hdr.Len {
+		return Header{}, nil, corrupt("payload length %d, header says %d", len(payload), hdr.Len)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != hdr.CRC32C {
+		return Header{}, nil, corrupt("crc32c mismatch: %08x, header says %08x", got, hdr.CRC32C)
+	}
+	return hdr, payload, nil
+}

@@ -7,12 +7,27 @@ import (
 	"ladm/internal/stats"
 )
 
-// Cache is an in-memory result cache keyed by JobKey with single-flight
+// RunStore is the second-level result cache behind the in-memory map: a
+// durable keyed store of completed records (see internal/simstore and
+// the DiskStore adapter). Both methods are best-effort — a store that
+// cannot serve returns a miss, and a store that cannot persist drops the
+// write; neither ever fails the caller.
+type RunStore interface {
+	// GetRun returns the record persisted under key, if any.
+	GetRun(key JobKey) (*stats.Run, bool)
+	// PutRun persists a completed record (possibly asynchronously).
+	PutRun(key JobKey, run *stats.Run)
+}
+
+// Cache is a result cache keyed by JobKey with single-flight
 // deduplication: concurrent Do calls for the same key run the underlying
 // job once and share the record. Errors are not cached, so a failed job
-// can be retried.
+// can be retried. With a RunStore attached it becomes two-level —
+// memory hit → store hit → compute → write-back — so results survive
+// process restarts.
 type Cache struct {
 	metrics *Metrics
+	store   RunStore
 
 	mu      sync.Mutex
 	entries map[JobKey]*cacheEntry
@@ -33,6 +48,14 @@ func NewCache(m *Metrics) *Cache {
 	return &Cache{metrics: m, entries: map[JobKey]*cacheEntry{}}
 }
 
+// SetStore attaches the second-level result store. Call before the
+// cache starts serving; nil detaches it.
+func (c *Cache) SetStore(store RunStore) {
+	c.mu.Lock()
+	c.store = store
+	c.mu.Unlock()
+}
+
 // Get returns the completed record cached under key, if any.
 func (c *Cache) Get(key JobKey) (*stats.Run, bool) {
 	c.mu.Lock()
@@ -50,13 +73,18 @@ func (c *Cache) Get(key JobKey) (*stats.Run, bool) {
 }
 
 // Put stores a completed record under key (used by asynchronous
-// submission paths that bypass Do).
+// submission paths that bypass Do), writing through to the attached
+// store so the record survives a restart.
 func (c *Cache) Put(key JobKey, run *stats.Run) {
 	e := &cacheEntry{done: make(chan struct{}), run: run}
 	close(e.done)
 	c.mu.Lock()
 	c.entries[key] = e
+	store := c.store
 	c.mu.Unlock()
+	if store != nil {
+		store.PutRun(key, run)
+	}
 }
 
 // Len returns the number of cached or in-flight entries.
@@ -69,7 +97,13 @@ func (c *Cache) Len() int {
 // Do returns the record cached under key, or runs fn once to produce it.
 // Concurrent calls with the same key share one flight: the first caller
 // executes fn, the rest wait for it (or for their own ctx). cached
-// reports whether the result came from a previous or concurrent flight.
+// reports whether the result came from a previous or concurrent flight,
+// or from the durable store — anything but a fresh simulation.
+//
+// With a store attached, the flight's owner consults it before running
+// fn (memory hit → store hit → compute → write-back); the store lookup
+// happens inside the single flight, so one restart-warm key costs one
+// disk read no matter how many callers race on it.
 func (c *Cache) Do(ctx context.Context, key JobKey, fn func() (*stats.Run, error)) (run *stats.Run, cached bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -89,13 +123,25 @@ func (c *Cache) Do(ctx context.Context, key JobKey, fn func() (*stats.Run, error
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[key] = e
+	store := c.store
 	c.mu.Unlock()
+
+	if store != nil {
+		if run, ok := store.GetRun(key); ok {
+			e.run = run
+			close(e.done)
+			c.metrics.cached.Add(1)
+			return run, true, nil
+		}
+	}
 
 	e.run, e.err = fn()
 	if e.err != nil {
 		c.mu.Lock()
 		delete(c.entries, key)
 		c.mu.Unlock()
+	} else if store != nil {
+		store.PutRun(key, e.run)
 	}
 	close(e.done)
 	return e.run, false, e.err

@@ -64,11 +64,18 @@ type JobKey [sha256.Size]byte
 
 func (k JobKey) String() string { return hex.EncodeToString(k[:]) }
 
-// keySchema versions the hash layout: bump it if the fields feeding the
+// KeySchema versions the hash layout: bump it if the fields feeding the
 // hash (or the simulator's observable outputs) change meaning.
 // v2: Telemetry joined the hash and records may carry a telemetry
 // summary.
-const keySchema = "simsvc/v2"
+//
+// It is exported because the durable result store stamps it into every
+// on-disk envelope: a record persisted under one schema is meaningless —
+// and treated as corrupt — under any other.
+const KeySchema = "simsvc/v2"
+
+// keySchema is the internal alias used by the hash itself.
+const keySchema = KeySchema
 
 // Key returns the request's content hash.
 func (r Request) Key() JobKey {
@@ -104,12 +111,12 @@ func (r Request) Resolve() (core.Job, error) {
 // Derived holds the headline metrics computed from a raw record, so JSON
 // consumers need not re-implement the formulas.
 type Derived struct {
-	L1HitRate       float64                         `json:"l1_hit_rate"`
-	MPKI            float64                         `json:"mpki"`
-	OffNodeFraction float64                         `json:"off_node_fraction"`
-	OffNodeBytes    uint64                          `json:"off_node_bytes"`
-	L2TrafficShare  [stats.NumTrafficCats]float64   `json:"l2_traffic_share"`
-	L2HitRates      [stats.NumTrafficCats]float64   `json:"l2_hit_rates"`
+	L1HitRate       float64                       `json:"l1_hit_rate"`
+	MPKI            float64                       `json:"mpki"`
+	OffNodeFraction float64                       `json:"off_node_fraction"`
+	OffNodeBytes    uint64                        `json:"off_node_bytes"`
+	L2TrafficShare  [stats.NumTrafficCats]float64 `json:"l2_traffic_share"`
+	L2HitRates      [stats.NumTrafficCats]float64 `json:"l2_hit_rates"`
 }
 
 // RunPayload is the JSON shape of one simulation result, shared by

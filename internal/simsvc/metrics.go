@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ladm/internal/simstore"
 )
 
 // Metrics aggregates the pool's and cache's observability counters. All
@@ -23,6 +25,7 @@ type Metrics struct {
 	workers   atomic.Int64 // pool size (gauge)
 	evicted   atomic.Int64 // job records dropped by registry retention
 	telemetry atomic.Int64 // jobs executed with telemetry collection
+	timeouts  atomic.Int64 // jobs that failed on a per-job deadline
 
 	// peakLink holds the float64 bits of the highest peak inter-GPU
 	// link utilization any telemetry job has reported (gauge).
@@ -68,7 +71,7 @@ func (m *Metrics) observeTelemetry(peakLinkUtil float64) {
 type Snapshot struct {
 	Submitted, Started, Completed, Failed, Canceled, Cached int64
 	QueueDepth, Workers                                     int64
-	Evicted, TelemetryJobs                                  int64
+	Evicted, TelemetryJobs, Timeouts                        int64
 	PeakLinkUtil                                            float64
 	WallSeconds, WallMaxSeconds, SimCycles                  float64
 	// CyclesPerSecond is simulated cycles per wall-second of job
@@ -92,6 +95,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Workers:        m.workers.Load(),
 		Evicted:        m.evicted.Load(),
 		TelemetryJobs:  m.telemetry.Load(),
+		Timeouts:       m.timeouts.Load(),
 		PeakLinkUtil:   math.Float64frombits(m.peakLink.Load()),
 		WallSeconds:    wall,
 		WallMaxSeconds: wallMax,
@@ -118,6 +122,10 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	counter("simsvc_jobs_failed_total", "Jobs that errored or panicked.", float64(s.Failed))
 	counter("simsvc_jobs_canceled_total", "Jobs canceled before execution.", float64(s.Canceled))
 	counter("simsvc_jobs_cached_total", "Requests served from the result cache.", float64(s.Cached))
+	// The same counter under the name operations dashboards alert on:
+	// every hit, whether from memory or the durable store.
+	counter("simsvc_cache_hits_total", "Requests served from the result cache (memory or store).", float64(s.Cached))
+	counter("simsvc_jobs_timeout_total", "Jobs that failed on the per-job deadline.", float64(s.Timeouts))
 	counter("simsvc_jobs_evicted_total", "Job records dropped by registry retention.", float64(s.Evicted))
 	counter("simsvc_telemetry_jobs_total", "Jobs executed with telemetry collection.", float64(s.TelemetryJobs))
 	gauge("simsvc_queue_depth", "Jobs currently queued.", float64(s.QueueDepth))
@@ -129,4 +137,29 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	gauge("simsvc_job_wall_seconds_max", "Longest single job.", s.WallMaxSeconds)
 	counter("simsvc_simulated_cycles_total", "Simulated GPU cycles across completed jobs.", s.SimCycles)
 	gauge("simsvc_simulated_cycles_per_second", "Simulated cycles per wall-second of execution.", s.CyclesPerSecond)
+}
+
+// WriteStoreProm renders the durable result store's counters in
+// Prometheus text exposition format, next to the pool's metrics.
+func WriteStoreProm(w io.Writer, s simstore.Stats) {
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("simsvc_store_hits_total", "Records served from the durable store.", float64(s.Hits))
+	counter("simsvc_store_misses_total", "Store lookups that found nothing.", float64(s.Misses))
+	counter("simsvc_store_writes_total", "Records durably written.", float64(s.Writes))
+	counter("simsvc_store_corrupt_total", "Records quarantined after failing validation.", float64(s.Corrupt))
+	counter("simsvc_store_evicted_total", "Records evicted by the size cap.", float64(s.Evicted))
+	counter("simsvc_store_retries_total", "Backed-off retries of transient store I/O errors.", float64(s.Retries))
+	counter("simsvc_store_dropped_writes_total", "Writes discarded while the store was degraded.", float64(s.Dropped))
+	gauge("simsvc_store_records", "Live records in the store.", float64(s.Records))
+	gauge("simsvc_store_bytes", "Summed size of live records.", float64(s.Bytes))
+	healthy := 0.0
+	if s.Healthy {
+		healthy = 1
+	}
+	gauge("simsvc_store_healthy", "1 while the store is operating, 0 once degraded to store-less mode.", healthy)
 }

@@ -36,7 +36,7 @@ func TestPromExpositionParses(t *testing.T) {
 	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
 	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*) ([0-9eE+.-]+|NaN|[+-]Inf)$`)
 
-	var family string   // most recent # TYPE name
+	var family string // most recent # TYPE name
 	var helped, typed string
 	families := map[string]bool{}
 	samples := 0

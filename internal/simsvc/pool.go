@@ -94,9 +94,7 @@ func NewPool(cfg PoolConfig) *Pool {
 	}
 	sim := cfg.Simulate
 	if sim == nil {
-		sim = func(_ context.Context, j core.Job) (*stats.Run, error) {
-			return core.SimulateJob(j)
-		}
+		sim = core.SimulateJobContext
 	}
 	m := cfg.Metrics
 	if m == nil {
@@ -174,6 +172,9 @@ func (p *Pool) exec(t *Task) {
 	if err := t.ctx.Err(); err != nil {
 		// Canceled while queued: never start the simulation.
 		p.metrics.canceled.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			p.metrics.timeouts.Add(1)
+		}
 		t.finish(nil, err)
 		return
 	}
@@ -183,6 +184,9 @@ func (p *Pool) exec(t *Task) {
 	wall := time.Since(start)
 	if err != nil {
 		p.metrics.failed.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			p.metrics.timeouts.Add(1)
+		}
 		p.metrics.jobDone(wall, 0)
 	} else {
 		p.metrics.completed.Add(1)
@@ -316,9 +320,7 @@ type Sequential struct {
 func (s Sequential) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error) {
 	sim := s.Simulate
 	if sim == nil {
-		sim = func(_ context.Context, j core.Job) (*stats.Run, error) {
-			return core.SimulateJob(j)
-		}
+		sim = core.SimulateJobContext
 	}
 	results := make([]*stats.Run, len(jobs))
 	for i, j := range jobs {

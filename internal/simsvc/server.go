@@ -67,6 +67,10 @@ type Server struct {
 	pool  *Pool
 	cache *Cache
 
+	// store, when non-nil, is the durable second-level result cache; its
+	// counters are rendered into /metrics.
+	store *DiskStore
+
 	mu     sync.Mutex
 	jobs   map[string]*jobRecord
 	nextID int
@@ -76,7 +80,21 @@ type Server struct {
 	// registration time. Zero values disable the respective limit.
 	retainMax int
 	retainTTL time.Duration
+
+	// jobTimeout bounds each job's execution (0 = unbounded): the
+	// deadline rides the job's context through the pool into the engine,
+	// so a pathological request fails with a clear deadline error
+	// instead of occupying a worker forever.
+	jobTimeout time.Duration
+
+	// maxBody caps request body size on the POST endpoints.
+	maxBody int64
 }
+
+// DefaultMaxBody is the request-body cap for POST /run and POST /sweep:
+// far beyond any legitimate request (the largest is a full sweep cross
+// product of names), small enough that garbage cannot balloon memory.
+const DefaultMaxBody = 1 << 20
 
 // DefaultRetainJobs bounds the job registry when no explicit retention
 // is configured: enough history for any realistic sweep, finite under
@@ -90,7 +108,30 @@ func NewServer(pool *Pool) *Server {
 		cache:     NewCache(pool.Metrics()),
 		jobs:      map[string]*jobRecord{},
 		retainMax: DefaultRetainJobs,
+		maxBody:   DefaultMaxBody,
 	}
+}
+
+// SetStore attaches the durable result store behind the in-memory
+// cache. Call before serving; nil detaches it.
+func (s *Server) SetStore(store *DiskStore) {
+	s.store = store
+	if store == nil {
+		s.cache.SetStore(nil)
+		return
+	}
+	s.cache.SetStore(store)
+}
+
+// SetJobTimeout bounds every job's execution (0 = unbounded).
+func (s *Server) SetJobTimeout(d time.Duration) { s.jobTimeout = d }
+
+// SetMaxBody overrides the POST body cap (0 restores the default).
+func (s *Server) SetMaxBody(n int64) {
+	if n <= 0 {
+		n = DefaultMaxBody
+	}
+	s.maxBody = n
 }
 
 // SetRetention reconfigures job-registry eviction: keep at most maxJobs
@@ -127,6 +168,35 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// decodeBody reads a size-capped JSON request body into v, writing a
+// structured 413 or 400 itself (and reporting ok=false) on failure —
+// the decoder's opaque messages never reach a client raw.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (ok bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var maxErr *http.MaxBytesError
+	var typeErr *json.UnmarshalTypeError
+	var synErr *json.SyntaxError
+	switch {
+	case errors.As(err, &maxErr):
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", maxErr.Limit))
+	case errors.As(err, &typeErr):
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("bad request body: field %q wants %s, got %s",
+				typeErr.Field, typeErr.Type, typeErr.Value))
+	case errors.As(err, &synErr):
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("bad request body: invalid JSON at byte %d: %v", synErr.Offset, synErr))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	}
+	return false
 }
 
 // register tracks a new job record for the normalized request, evicting
@@ -222,12 +292,23 @@ func (s *Server) setStatus(rec *jobRecord, status string) {
 	s.mu.Unlock()
 }
 
+// ErrJobTimeout marks a job that failed its per-job deadline. It is
+// deliberately not a context error: the job FAILED (a server-imposed
+// bound), it was not canceled by its client.
+var ErrJobTimeout = errors.New("simsvc: job deadline exceeded")
+
 // execute runs one tracked job to completion through the cache and pool.
 func (s *Server) execute(ctx context.Context, rec *jobRecord) {
 	job, err := rec.req.Resolve()
 	if err != nil {
 		s.finishJob(rec, nil, false, err)
 		return
+	}
+	parent := ctx
+	if s.jobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.jobTimeout)
+		defer cancel()
 	}
 	var tel *simtel.Collector
 	if rec.req.Telemetry {
@@ -249,6 +330,12 @@ func (s *Server) execute(ctx context.Context, rec *jobRecord) {
 		} else if err == nil && run != nil && run.Telemetry != nil {
 			s.pool.Metrics().observeTelemetry(run.Telemetry.PeakLinkUtil)
 		}
+	}
+	if err != nil && errors.Is(err, context.DeadlineExceeded) &&
+		s.jobTimeout > 0 && parent.Err() == nil {
+		// The server's own deadline fired, not the client's context:
+		// report a clear job failure naming the bound.
+		err = fmt.Errorf("%w (after -job-timeout %s)", ErrJobTimeout, s.jobTimeout)
 	}
 	s.mu.Lock()
 	rec.tel = tel
@@ -280,8 +367,7 @@ type runRequest struct {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Workload == "" {
@@ -353,8 +439,7 @@ type sweepRequest struct {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Workloads) == 0 {
@@ -524,4 +609,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	n := len(s.jobs)
 	s.mu.Unlock()
 	fmt.Fprintf(w, "# HELP simsvc_tracked_jobs Jobs in the registry.\n# TYPE simsvc_tracked_jobs gauge\nsimsvc_tracked_jobs %d\n", n)
+	if s.store != nil {
+		WriteStoreProm(w, s.store.Store.Stats())
+	}
 }

@@ -357,3 +357,83 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestServerBodyLimits exercises the request-hardening path: oversized
+// bodies get a structured 413, malformed or mistyped JSON a structured
+// 400 — never a raw decoder message or an unbounded read.
+func TestServerBodyLimits(t *testing.T) {
+	ts, srv := newTestService(t, new(atomic.Int64))
+	srv.SetMaxBody(256)
+
+	big := `{"workload":"vecadd","pad":"` + strings.Repeat("x", 1024) + `"}`
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status = %d, want 413", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "exceeds 256 bytes") {
+		t.Errorf("413 body: %s", body)
+	}
+
+	resp, err = http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"workloads": "not-a-list"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mistyped field: status = %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "workloads") {
+		t.Errorf("type-error body does not name the field: %s", body)
+	}
+
+	resp, err = http.Post(ts.URL+"/run", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "invalid JSON") {
+		t.Errorf("syntax-error body: %s", body)
+	}
+}
+
+// TestServerJobTimeout: a job outliving -job-timeout fails with a clear
+// deadline error (not a client cancellation) and bumps the timeout
+// counter.
+func TestServerJobTimeout(t *testing.T) {
+	pool := NewPool(PoolConfig{Workers: 1, Simulate: func(ctx context.Context, _ core.Job) (*stats.Run, error) {
+		<-ctx.Done() // a simulation that never finishes on its own
+		return nil, ctx.Err()
+	}})
+	defer pool.Close()
+	srv := NewServer(pool)
+	srv.SetJobTimeout(30 * time.Millisecond)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/run", Request{Workload: "vecadd"})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusFailed {
+		t.Errorf("status = %q, want failed (a server-imposed bound is not a client cancel)", v.Status)
+	}
+	if !strings.Contains(v.Error, "deadline exceeded") || !strings.Contains(v.Error, "job-timeout") {
+		t.Errorf("error = %q", v.Error)
+	}
+	waitFor(t, func() bool { return pool.Metrics().Snapshot().Timeouts >= 1 })
+}

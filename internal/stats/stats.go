@@ -8,8 +8,11 @@ package stats
 import (
 	"fmt"
 	"math"
+	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 )
 
 // TrafficCat classifies L2 traffic the way the paper's Figure 11 does.
@@ -136,6 +139,45 @@ type Telemetry struct {
 	// SaturationCycle is the first sample boundary where a link or ring
 	// reached saturation utilization; -1 when none ever did.
 	SaturationCycle float64 `json:"saturation_cycle"`
+}
+
+// Provenance records how and where a persisted measurement was produced,
+// so a record read back from a durable store identifies its origin. It
+// rides in the self-describing envelope of internal/simstore next to the
+// payload, never inside the Run itself — the simulated numbers stay pure
+// values.
+type Provenance struct {
+	// Tool names the producing binary ("ladmserve", "ladmbench", ...).
+	Tool string `json:"tool,omitempty"`
+	// GoVersion is the toolchain that built the producer.
+	GoVersion string `json:"go_version,omitempty"`
+	// Host is the machine that ran the simulation.
+	Host string `json:"host,omitempty"`
+	// CreatedUnix is the wall-clock time the record was persisted.
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+}
+
+// NewProvenance captures the current process's provenance for tool.
+func NewProvenance(tool string) Provenance {
+	host, _ := os.Hostname()
+	return Provenance{
+		Tool:        tool,
+		GoVersion:   runtime.Version(),
+		Host:        host,
+		CreatedUnix: time.Now().Unix(),
+	}
+}
+
+// Clone returns an independent copy of the record. Cached records are
+// shared by every consumer of their JobKey; a caller that wants to
+// relabel or otherwise mutate a result must clone it first.
+func (r *Run) Clone() *Run {
+	cp := *r
+	if r.Telemetry != nil {
+		tel := *r.Telemetry
+		cp.Telemetry = &tel
+	}
+	return &cp
 }
 
 // OffNodeBytes returns bytes that crossed a chiplet boundary.

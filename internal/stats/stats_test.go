@@ -241,3 +241,31 @@ func TestZeroTrafficRun(t *testing.T) {
 		t.Errorf("zero-valued bars contain NaN:\n%s", bars)
 	}
 }
+
+func TestRunClone(t *testing.T) {
+	r := &Run{Workload: "w", Policy: "p", Cycles: 42,
+		Telemetry: &Telemetry{Samples: 3, PeakLinkUtil: 0.5}}
+	c := r.Clone()
+	if c == r || c.Telemetry == r.Telemetry {
+		t.Fatal("Clone shares structure with the original")
+	}
+	c.Policy = "label"
+	c.Telemetry.Samples = 99
+	if r.Policy != "p" || r.Telemetry.Samples != 3 {
+		t.Error("mutating the clone changed the original")
+	}
+	if c.Cycles != 42 || c.Workload != "w" {
+		t.Error("clone lost fields")
+	}
+	plain := &Run{Workload: "w"}
+	if c := plain.Clone(); c.Telemetry != nil {
+		t.Error("clone invented telemetry")
+	}
+}
+
+func TestNewProvenance(t *testing.T) {
+	p := NewProvenance("testtool")
+	if p.Tool != "testtool" || p.GoVersion == "" || p.CreatedUnix == 0 {
+		t.Errorf("provenance = %+v", p)
+	}
+}
