@@ -7,6 +7,7 @@
 //	ladmbench -experiment fig11 -full    # paper-size inputs (slow)
 //	ladmbench -experiment fig4 -workloads vecadd,sq-gemm
 //	ladmbench -experiment all -store-dir ./results  # resumable campaign
+//	ladmbench -experiment fig9 -progress            # per-cell lines on stderr
 //
 // Experiments: table1 table2 table3 table4 fig4 fig9 fig10 fig11 hwvalid
 // oversub scaling
@@ -39,6 +40,8 @@ func main() {
 		"durable result store: registry-named cells are served from disk and a killed campaign resumes with only the missing cells")
 	storeMax := flag.Int64("store-max-bytes", 0,
 		"size cap for the durable store (0 = unlimited)")
+	progress := flag.Bool("progress", false,
+		"print a per-cell progress line to stderr as sweep cells complete")
 	flag.Parse()
 
 	// One pool serves every experiment of the campaign, so queueing,
@@ -67,6 +70,24 @@ func main() {
 			st := store.Store.Stats()
 			fmt.Fprintf(os.Stderr, "ladmbench: result store %s: %d records, %d bytes\n",
 				*storeDir, st.Records, st.Bytes)
+		}
+	}
+	if *progress {
+		// Progress rides the cache-aware runner's per-cell completion hook;
+		// without -store-dir a memory-only cache provides the same path.
+		cr, ok := o.Runner.(*simsvc.CachedRunner)
+		if !ok {
+			cr = &simsvc.CachedRunner{
+				Inner: pool, Cache: simsvc.NewCache(pool.Metrics()), Scale: o.Scale,
+			}
+			o.Runner = cr
+		}
+		cr.Progress = func(done, total int, cell string, cached bool) {
+			src := "simulated"
+			if cached {
+				src = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "ladmbench: [%d/%d] %s (%s)\n", done, total, cell, src)
 		}
 	}
 	if *workloads != "" {

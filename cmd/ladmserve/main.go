@@ -20,7 +20,13 @@
 //	               {"workloads":["vecadd"],"policies":["h-coda","ladm"]}
 //	GET  /jobs     every tracked job
 //	GET  /jobs/{id}
-//	GET  /jobs/{id}/telemetry  series/trace of a telemetry job (?view=csv|trace)
+//	GET  /jobs/{id}/telemetry  series/trace of a telemetry job (?view=csv|trace);
+//	               also accepts the job's 64-hex content key, which reads the
+//	               durable telemetry spill — with -store-dir, telemetry
+//	               survives registry eviction and server restarts
+//	GET  /jobs/{id}/events     live job lifecycle events (SSE)
+//	GET  /sweeps/{id}          sweep progress snapshot
+//	GET  /sweeps/{id}/events   live sweep progress ticks (SSE)
 //	GET  /metrics  Prometheus text format
 //	GET  /debug/pprof/  host-side CPU/heap profiles (with -pprof)
 package main

@@ -14,7 +14,13 @@
 // series (CSV by extension, else JSON), -trace FILE emits a Chrome
 // trace of threadblock lifetimes (open in chrome://tracing or
 // Perfetto), -telemetry prints the run's telemetry summary, and
-// -sample N sets the sampling interval in cycles.
+// -sample N sets the sampling interval in cycles. When sampling and
+// tracing are both enabled, the trace additionally carries counter
+// tracks (fabric/DRAM utilization, MSHR occupancy, scheduler queue
+// depths, batch progress) that Perfetto renders under the TB spans.
+//
+// -steal enables experimental cross-node TB work stealing; steal counts
+// appear in the telemetry summary.
 //
 // Machines: hier (Table III), hier-perlink (per-hop ring links),
 // monolithic, xbar-90, xbar-180, xbar-360, ring-1400, ring-2800, dgx.
@@ -49,6 +55,7 @@ func main() {
 	seriesOut := flag.String("series", "", "write the simulated-time telemetry series to this file (.csv = CSV, else JSON)")
 	sample := flag.Float64("sample", simtel.DefaultSampleEvery, "telemetry sampling interval in cycles")
 	telemetry := flag.Bool("telemetry", false, "sample the run and print its telemetry summary")
+	steal := flag.Bool("steal", false, "let idle nodes steal queued TBs from the deepest queue (experimental)")
 	flag.Parse()
 
 	if *list {
@@ -73,6 +80,9 @@ func main() {
 	cfg, err := arch.ByName(*machineName)
 	if err != nil {
 		fail(err)
+	}
+	if *steal {
+		pol.StealTBs = true
 	}
 
 	telCfg := simtel.Config{
@@ -175,6 +185,9 @@ func main() {
 			{"inter-chiplet ring util (peak/mean)",
 				stats.Pct(t.PeakRingUtil) + " / " + stats.Pct(t.MeanRingUtil)},
 			{"DRAM util (peak)", stats.Pct(t.PeakDRAMUtil)},
+			{"MSHR in-flight (peak/mean per SM)",
+				fmt.Sprintf("%d / %.2f", t.PeakMSHR, t.MeanMSHR)},
+			{"TBs stolen across nodes", fmt.Sprintf("%d", t.TBSteals)},
 			{"deepest queue", fmt.Sprintf("%s cycles (%s)",
 				stats.Fmt(t.MaxQueueDepth), t.MaxQueueResource)},
 			{"fabric saturation onset", sat},

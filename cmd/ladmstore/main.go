@@ -1,0 +1,105 @@
+// Command ladmstore inspects a durable result-store directory offline:
+// it decodes every record envelope (schema, key, size, checksum verdict,
+// provenance) under objects/ and quarantine/ without opening the store,
+// so "what is on this disk and why did it rot" needs neither a running
+// server nor a hex editor.
+//
+//	ladmstore inspect <store-dir>          table of live + quarantined records
+//	ladmstore inspect -json <store-dir>    the same as a JSON array
+//
+// A simsvc store root (the -store-dir of ladmserve/ladmbench) holds run
+// records at the top level and spilled telemetry under telemetry/; both
+// are inspected.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"ladm/internal/simstore"
+	"ladm/internal/simsvc"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "inspect" {
+		fmt.Fprintf(os.Stderr, "usage: ladmstore inspect [-json] <store-dir>\n")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit records as a JSON array instead of a table")
+	fs.Parse(os.Args[2:])
+	if fs.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: ladmstore inspect [-json] <store-dir>\n")
+		os.Exit(2)
+	}
+	root := fs.Arg(0)
+
+	infos, err := simstore.InspectDir(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ladmstore: %v\n", err)
+		os.Exit(1)
+	}
+	// A simsvc store keeps spilled telemetry in a sibling store under
+	// telemetry/; fold it in when present.
+	if telInfos, err := simstore.InspectDir(simsvc.TelemetryDir(root)); err == nil {
+		infos = append(infos, telInfos...)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(infos); err != nil {
+			fmt.Fprintf(os.Stderr, "ladmstore: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "STATE\tKEY\tSCHEMA\tSIZE\tTOOL\tCREATED\tNOTE")
+	live, quarantined, invalid := 0, 0, 0
+	for _, info := range infos {
+		state := "live"
+		if info.Quarantined {
+			state = "quarantined"
+			quarantined++
+		} else {
+			live++
+		}
+		schema, tool, created := "?", "?", "?"
+		if info.Header != nil {
+			schema = info.Header.Schema
+			if info.Header.Provenance.Tool != "" {
+				tool = info.Header.Provenance.Tool
+			}
+			if ts := info.Header.Provenance.CreatedUnix; ts > 0 {
+				created = time.Unix(ts, 0).UTC().Format(time.RFC3339)
+			}
+		}
+		note := "ok"
+		if !info.Valid {
+			invalid++
+			note = info.Err
+			if note == "" {
+				note = "invalid"
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%s\n",
+			state, short(info.Key), schema, info.Size, tool, created, note)
+	}
+	tw.Flush()
+	fmt.Printf("%d live, %d quarantined, %d invalid\n", live, quarantined, invalid)
+}
+
+// short abbreviates a 64-hex content key for the table; full keys are in
+// the -json output.
+func short(key string) string {
+	if len(key) > 16 {
+		return key[:16] + "…"
+	}
+	return key
+}

@@ -71,6 +71,24 @@ type Engine struct {
 	queues    [][]int32
 	queueBack [][]int32
 
+	// stealTBs mirrors Policy.StealTBs: an SM whose node queue drained
+	// may pull TBs from the deepest other queue (see takeTB).
+	stealTBs bool
+
+	// Sampled occupancy counters, maintained with pure integer ops on the
+	// hot path so they are timing-neutral and allocation-free whether or
+	// not telemetry reads them. mshr is per-SM in-flight transactions;
+	// the tel* slices are per-node TB scheduler state.
+	mshr       []int32
+	telRunning []int32 // TBs resident on the node's SMs right now
+	telRetired []int64 // TBs retired on the node, cumulative
+	telSteals  []int64 // TBs the node's SMs stole, cumulative
+
+	// Current launch's batch-progress snapshot (LASP batch telemetry).
+	curBatch   int
+	curTotal   int
+	curRetired int
+
 	// tel observes the run (nil: telemetry disabled; every hook is
 	// nil-safe and the engine's timing is identical either way).
 	tel *simtel.Collector
@@ -132,6 +150,11 @@ func New(plan *runtime.Plan) *Engine {
 		e.hostLink = append(e.hostLink, queueing.NewResource(
 			fmt.Sprintf("host.g%d", gpu), cfg.BytesPerCycle(cfg.HostLinkGBs)))
 	}
+	e.stealTBs = plan.Policy.StealTBs
+	e.mshr = make([]int32, cfg.SMs())
+	e.telRunning = make([]int32, cfg.Nodes())
+	e.telRetired = make([]int64, cfg.Nodes())
+	e.telSteals = make([]int64, cfg.Nodes())
 	e.tel = plan.Tel
 	e.sched.interrupt = plan.Interrupt
 	if e.tel.Sampling() {
@@ -200,9 +223,9 @@ func (e *Engine) releaseTB(x *tbExec) {
 // loadQueues copies the assignment's per-node TB queues into engine-owned
 // storage and returns the working queues plus the total TB count. Both the
 // outer header slice and each node's backing array are reused across
-// launches and EffTimes() repetitions: resident tbExecs hold pointers into
-// e.queues, and every launch drains fully before the next begins, so the
-// arrays are never live across a reload.
+// launches and EffTimes() repetitions: resident tbExecs pull their next TB
+// from e.queues via takeTB, and every launch drains fully before the next
+// begins, so the arrays are never live across a reload.
 func (e *Engine) loadQueues(src [][]int32) ([][]int32, int) {
 	if len(src) > len(e.queueBack) {
 		e.queueBack = make([][]int32, len(src))
@@ -217,6 +240,34 @@ func (e *Engine) loadQueues(src [][]int32) ([][]int32, int) {
 		total += len(q)
 	}
 	return e.queues, total
+}
+
+// takeTB pops the next threadblock for an SM of node. The node's own
+// queue wins; under Policy.StealTBs a drained node steals the head of
+// the deepest other queue (ties to the lowest index) instead of idling.
+// Stealing trades placement locality for load balance, so it is opt-in
+// and counted; with it off, event order is untouched by this path.
+func (e *Engine) takeTB(node int) (int32, bool) {
+	if q := e.queues[node]; len(q) > 0 {
+		e.queues[node] = q[1:]
+		return q[0], true
+	}
+	if !e.stealTBs {
+		return 0, false
+	}
+	victim, depth := -1, 0
+	for v := range e.queues {
+		if l := len(e.queues[v]); l > depth {
+			victim, depth = v, l
+		}
+	}
+	if victim < 0 {
+		return 0, false
+	}
+	tb := e.queues[victim][0]
+	e.queues[victim] = e.queues[victim][1:]
+	e.telSteals[node]++
+	return tb, true
 }
 
 // telSample snapshots every resource's cumulative counters at a sample
@@ -241,6 +292,36 @@ func (e *Engine) telSample(t float64) {
 		// Normalize the stack's summed channel busy so 1.0 means every
 		// channel busy every cycle.
 		nc.DRAMBusy = e.hbm[n].BusyCycles() / float64(e.hbm[n].Config().Channels)
+	}
+	// Instantaneous MSHR occupancy, reduced per node across its SMs.
+	smCount := make([]int, cfg.Nodes())
+	for sm, inFlight := range e.mshr {
+		nc := &cum.Nodes[cfg.NodeOfSM(sm)]
+		if int(inFlight) > nc.MSHRPeak {
+			nc.MSHRPeak = int(inFlight)
+		}
+		nc.MSHRMean += float64(inFlight)
+		smCount[cfg.NodeOfSM(sm)]++
+	}
+	for n := range cum.Nodes {
+		if smCount[n] > 0 {
+			cum.Nodes[n].MSHRMean /= float64(smCount[n])
+		}
+	}
+	cum.Sched = make([]simtel.SchedNodeCum, cfg.Nodes())
+	for n := range cum.Sched {
+		sc := &cum.Sched[n]
+		if n < len(e.queues) {
+			sc.QueueDepth = len(e.queues[n])
+		}
+		sc.Running = int(e.telRunning[n])
+		sc.Retired = e.telRetired[n]
+		sc.Steals = e.telSteals[n]
+	}
+	cum.Batch = simtel.BatchCum{
+		BatchTBs:   e.curBatch,
+		TotalTBs:   e.curTotal,
+		RetiredTBs: e.curRetired,
 	}
 	for g := range cum.GPUs {
 		gc := &cum.GPUs[g]
@@ -359,8 +440,7 @@ type tbExec struct {
 	stage    int // 0=pre, 1=loop, 2=post, 3=done
 	m        int
 
-	queue *[]int32 // remaining TBs of this node
-	born  float64  // when the TB took its resident slot (telemetry)
+	born float64 // when the TB took its resident slot (telemetry)
 
 	buf []trace.Transaction
 }
@@ -376,20 +456,24 @@ func (e *Engine) runKernel(gen *trace.Generator, lp *runtime.LaunchPlan) {
 	resident := e.cfg.ResidentTBs(warps)
 	start := e.sched.now
 
-	queues, remaining := e.loadQueues(lp.Assignment.Queues)
+	_, remaining := e.loadQueues(lp.Assignment.Queues)
 	if remaining == 0 {
 		return
 	}
+	e.curBatch = lp.Assignment.BatchTBs
+	e.curTotal = remaining
+	e.curRetired = 0
 
 	// Fill every SM's resident slots round-robin so load spreads evenly.
+	// The fill draws through takeTB like the rebinding path, so stealing
+	// (when enabled) applies from the first slot on.
 	for slot := 0; slot < resident; slot++ {
 		for sm := 0; sm < e.cfg.SMs(); sm++ {
 			node := e.cfg.NodeOfSM(sm)
-			if len(queues[node]) == 0 {
+			tb, ok := e.takeTB(node)
+			if !ok {
 				continue
 			}
-			tb := queues[node][0]
-			queues[node] = queues[node][1:]
 			ex := e.acquireTB()
 			ex.e = e
 			ex.gen = gen
@@ -400,8 +484,8 @@ func (e *Engine) runKernel(gen *trace.Generator, lp *runtime.LaunchPlan) {
 			ex.node = node
 			ex.warps = warps
 			ex.resident = resident
-			ex.queue = &queues[node]
 			ex.born = start
+			e.telRunning[node]++
 			e.sched.schedule(start, ex)
 		}
 	}
@@ -450,9 +534,9 @@ func (x *tbExec) phaseDone(end float64) {
 	// Threadblock finished: free the slot and pull the next TB, rebinding
 	// this executor in place.
 	e.tel.TBSpan(x.k.Name, x.node, x.sm, x.tb, x.born, end)
-	if len(*x.queue) > 0 {
-		tb := (*x.queue)[0]
-		*x.queue = (*x.queue)[1:]
+	e.telRetired[x.node]++
+	e.curRetired++
+	if tb, ok := e.takeTB(x.node); ok {
 		x.tb = int(tb)
 		x.stage = 0
 		x.m = 0
@@ -460,6 +544,7 @@ func (x *tbExec) phaseDone(end float64) {
 		e.sched.schedule(end, x)
 		return
 	}
+	e.telRunning[x.node]--
 	e.releaseTB(x)
 }
 

@@ -92,6 +92,7 @@ func (st *txState) run(t float64) {
 func (st *txState) finish(t float64, blocks bool) {
 	e := st.e
 	pr, done := st.pr, st.done
+	e.mshr[st.sm]-- // before releaseTx zeroes st
 	e.releaseTx(st)
 	if done != nil {
 		done(t, blocks)
@@ -113,6 +114,7 @@ func (e *Engine) startTx(at float64, sm, node int, tx trace.Transaction, pr *pha
 	st.sm = sm
 	st.node = node
 	st.tx = tx
+	e.mshr[sm]++ // sampled as MSHR occupancy; decremented in finish
 	if e.tel.TxTracing() {
 		// Telemetry opts back into the wrapper path: the span closure
 		// allocates, which is acceptable when tracing is on.

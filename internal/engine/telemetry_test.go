@@ -104,6 +104,95 @@ func TestTelemetrySummaryShape(t *testing.T) {
 	if sum.MaxQueueDepth > 0 && sum.MaxQueueResource == "" {
 		t.Errorf("max queue depth %v with no resource name", sum.MaxQueueDepth)
 	}
+	// A memory-bound scan keeps transactions in flight, so the sampler
+	// must have seen MSHR pressure; without StealTBs no TB ever moves.
+	if sum.PeakMSHR <= 0 {
+		t.Errorf("peak mshr = %d, want > 0", sum.PeakMSHR)
+	}
+	if sum.MeanMSHR < 0 || float64(sum.PeakMSHR) < sum.MeanMSHR {
+		t.Errorf("mshr mean %v vs peak %d inconsistent", sum.MeanMSHR, sum.PeakMSHR)
+	}
+	if sum.TBSteals != 0 {
+		t.Errorf("tb steals = %d without StealTBs", sum.TBSteals)
+	}
+}
+
+// TestSchedSamplesAccountAllTBs checks the scheduler series: per-node
+// retired counts summed over all samples equal the grid, queue depth and
+// running TBs drain to zero by the last sample, and batch progress ends
+// at 1.
+func TestSchedSamplesAccountAllTBs(t *testing.T) {
+	tel := simtel.New(simtel.Config{SampleEvery: 100})
+	run := simulateTel(t, vecAdd(64), arch.DefaultHierarchical(), runtime.LADM(), tel)
+	samples := tel.Series().Samples
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	var retired int64
+	for _, s := range samples {
+		for _, sc := range s.Sched {
+			retired += sc.Retired
+			if sc.Steals != 0 {
+				t.Errorf("steals = %d without StealTBs", sc.Steals)
+			}
+		}
+	}
+	if retired != int64(run.TBs) {
+		t.Errorf("retired over series = %d, want %d", retired, run.TBs)
+	}
+	last := samples[len(samples)-1]
+	for n, sc := range last.Sched {
+		if sc.QueueDepth != 0 || sc.Running != 0 {
+			t.Errorf("node %d not drained at final sample: %+v", n, sc)
+		}
+	}
+	if last.Batch.Progress != 1 || last.Batch.DoneTBs != last.Batch.TotalTBs {
+		t.Errorf("final batch sample = %+v", last.Batch)
+	}
+}
+
+// TestStealTBsBalancesSkewedQueues pins the opt-in work-stealing path:
+// with every TB packed onto node 0's queue, stealing lets other nodes'
+// SMs execute and the steal counters report it; with stealing off the
+// imbalance stands and nothing is counted.
+func TestStealTBsBalancesSkewedQueues(t *testing.T) {
+	w := vecAdd(96)
+	cfg := arch.DefaultHierarchical()
+	skewed := func(steal bool) *stats.Run {
+		pol := runtime.BaselineRR()
+		pol.StealTBs = steal
+		plan, err := runtime.Prepare(w, &cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Concentrate the whole grid on node 0.
+		all := []int32{}
+		for _, q := range plan.Launches[0].Assignment.Queues {
+			all = append(all, q...)
+		}
+		for i := range plan.Launches[0].Assignment.Queues {
+			plan.Launches[0].Assignment.Queues[i] = nil
+		}
+		plan.Launches[0].Assignment.Queues[0] = all
+		plan.Tel = simtel.New(simtel.Config{SampleEvery: 50})
+		run, err := New(plan).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	stolen := skewed(true)
+	if stolen.Telemetry == nil || stolen.Telemetry.TBSteals == 0 {
+		t.Fatalf("no steals recorded on a fully skewed grid: %+v", stolen.Telemetry)
+	}
+	honest := skewed(false)
+	if honest.Telemetry.TBSteals != 0 {
+		t.Errorf("steals = %d with StealTBs off", honest.Telemetry.TBSteals)
+	}
+	// Both runs execute the same grid; stealing only changes who ran it.
+	if stolen.TBs != honest.TBs {
+		t.Errorf("tb counts differ: %d vs %d", stolen.TBs, honest.TBs)
+	}
 }
 
 // TestGoldenChromeTrace locks the exact Chrome trace a tiny vecadd run

@@ -141,6 +141,12 @@ type Policy struct {
 	// LASP extension sketched in the paper's related work). The transfer
 	// bandwidth is still charged.
 	ProactivePaging bool
+	// StealTBs lets an SM whose node queue has drained pull threadblocks
+	// from the deepest other node's queue instead of idling. Off in every
+	// preset: stealing trades the locality the placement policy set up for
+	// load balance, so it is an experimental knob, not part of any paper
+	// configuration. Steals are counted in telemetry (tb_steals).
+	StealTBs bool
 }
 
 // The policy presets evaluated in the paper.

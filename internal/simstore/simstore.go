@@ -226,6 +226,19 @@ func (s *Store) Len() int {
 	return len(s.index)
 }
 
+// Contains reports whether a live record is indexed under key. It is a
+// pure index probe — no I/O, no validation, no LRU bump — so a caller
+// that sees Contains() true followed by a Get miss knows the record was
+// just quarantined or evicted, not absent all along.
+func (s *Store) Contains(key string) bool {
+	if s.degraded.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.index[key] != nil
+}
+
 // Dir returns the store root.
 func (s *Store) Dir() string { return s.dir }
 

@@ -64,6 +64,20 @@ type JobKey [sha256.Size]byte
 
 func (k JobKey) String() string { return hex.EncodeToString(k[:]) }
 
+// ParseJobKey decodes the hex form a JobKey is served as. ok=false for
+// anything that is not exactly a 64-hex-digit key — callers use it to
+// tell "this id is a content key" from "this id is a job name".
+func ParseJobKey(s string) (JobKey, bool) {
+	var k JobKey
+	if len(s) != hex.EncodedLen(len(k)) {
+		return JobKey{}, false
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return JobKey{}, false
+	}
+	return k, true
+}
+
 // KeySchema versions the hash layout: bump it if the fields feeding the
 // hash (or the simulator's observable outputs) change meaning.
 // v2: Telemetry joined the hash and records may carry a telemetry

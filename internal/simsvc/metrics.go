@@ -27,6 +27,10 @@ type Metrics struct {
 	telemetry atomic.Int64 // jobs executed with telemetry collection
 	timeouts  atomic.Int64 // jobs that failed on a per-job deadline
 
+	telemetrySpilled atomic.Int64 // telemetry records persisted to the store
+	eventsSubs       atomic.Int64 // live SSE subscribers (gauge)
+	eventsDropped    atomic.Int64 // events dropped on slow subscriber channels
+
 	// peakLink holds the float64 bits of the highest peak inter-GPU
 	// link utilization any telemetry job has reported (gauge).
 	peakLink atomic.Uint64
@@ -72,6 +76,7 @@ type Snapshot struct {
 	Submitted, Started, Completed, Failed, Canceled, Cached int64
 	QueueDepth, Workers                                     int64
 	Evicted, TelemetryJobs, Timeouts                        int64
+	TelemetrySpilled, EventsSubscribers, EventsDropped      int64
 	PeakLinkUtil                                            float64
 	WallSeconds, WallMaxSeconds, SimCycles                  float64
 	// CyclesPerSecond is simulated cycles per wall-second of job
@@ -96,6 +101,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Evicted:        m.evicted.Load(),
 		TelemetryJobs:  m.telemetry.Load(),
 		Timeouts:       m.timeouts.Load(),
+		TelemetrySpilled:  m.telemetrySpilled.Load(),
+		EventsSubscribers: m.eventsSubs.Load(),
+		EventsDropped:     m.eventsDropped.Load(),
 		PeakLinkUtil:   math.Float64frombits(m.peakLink.Load()),
 		WallSeconds:    wall,
 		WallMaxSeconds: wallMax,
@@ -128,6 +136,9 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	counter("simsvc_jobs_timeout_total", "Jobs that failed on the per-job deadline.", float64(s.Timeouts))
 	counter("simsvc_jobs_evicted_total", "Job records dropped by registry retention.", float64(s.Evicted))
 	counter("simsvc_telemetry_jobs_total", "Jobs executed with telemetry collection.", float64(s.TelemetryJobs))
+	counter("simsvc_telemetry_spilled_total", "Telemetry records persisted to the durable store.", float64(s.TelemetrySpilled))
+	counter("simsvc_events_dropped_total", "Job events dropped on slow subscriber channels.", float64(s.EventsDropped))
+	gauge("simsvc_events_subscribers", "Live job-event stream subscribers.", float64(s.EventsSubscribers))
 	gauge("simsvc_queue_depth", "Jobs currently queued.", float64(s.QueueDepth))
 	gauge("simsvc_workers", "Worker goroutines in the pool.", float64(s.Workers))
 	gauge("simsvc_telemetry_peak_link_util", "Highest peak inter-GPU link utilization any telemetry job reported.", s.PeakLinkUtil)

@@ -86,6 +86,8 @@ func TestPromExpositionParses(t *testing.T) {
 	for _, want := range []string{
 		"simsvc_jobs_evicted_total", "simsvc_telemetry_jobs_total",
 		"simsvc_telemetry_peak_link_util", "simsvc_tracked_jobs",
+		"simsvc_telemetry_spilled_total", "simsvc_events_subscribers",
+		"simsvc_events_dropped_total",
 	} {
 		if !families[want] {
 			t.Errorf("family %s missing from exposition", want)
@@ -112,6 +114,8 @@ func TestCountersMonotonicUnderConcurrentJobs(t *testing.T) {
 				{prev.Completed, s.Completed}, {prev.Failed, s.Failed},
 				{prev.Canceled, s.Canceled}, {prev.Cached, s.Cached},
 				{prev.Evicted, s.Evicted}, {prev.TelemetryJobs, s.TelemetryJobs},
+				{prev.TelemetrySpilled, s.TelemetrySpilled},
+				{prev.EventsDropped, s.EventsDropped},
 			}
 			for i, c := range counters {
 				if c[1] < c[0] {

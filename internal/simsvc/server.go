@@ -53,6 +53,48 @@ type jobRecord struct {
 	// execution actually ran the simulator (nil for cache hits, which
 	// share only the record). Read exclusively after the job finishes.
 	tel *simtel.Collector
+	// hub streams the job's lifecycle transitions to SSE subscribers;
+	// closed at the terminal status.
+	hub *eventHub
+}
+
+// sweepRecord tracks one submitted sweep's progress across its cells.
+type sweepRecord struct {
+	id      string
+	recs    []*jobRecord
+	hub     *eventHub
+	created time.Time
+
+	mu        sync.Mutex
+	completed int
+	cacheHits int
+	finished  time.Time // zero until every cell is done
+}
+
+// tick records one finished cell, publishes a progress event, and closes
+// the stream after the last cell.
+func (sw *sweepRecord) tick(rec *jobRecord, status string, cached bool) {
+	sw.mu.Lock()
+	sw.completed++
+	if cached {
+		sw.cacheHits++
+	}
+	completed, hits := sw.completed, sw.cacheHits
+	done := completed == len(sw.recs)
+	if done {
+		sw.finished = time.Now()
+	}
+	sw.mu.Unlock()
+	sw.hub.publish(JobEvent{
+		Type: "progress", Job: rec.id, Status: status, Cached: cached,
+		Completed: completed, Total: len(sw.recs), CacheHits: hits,
+	})
+	if done {
+		sw.hub.publish(JobEvent{
+			Type: "done", Completed: completed, Total: len(sw.recs), CacheHits: hits,
+		})
+		sw.hub.close()
+	}
 }
 
 // Server exposes the pool, cache and metrics over HTTP:
@@ -62,18 +104,25 @@ type jobRecord struct {
 //	GET  /jobs     all tracked jobs
 //	GET  /jobs/{id}
 //	GET  /jobs/{id}/telemetry  sampled series / Chrome trace (telemetry jobs)
+//	GET  /jobs/{id}/events     live job lifecycle events (SSE)
+//	GET  /sweeps/{id}          sweep progress snapshot
+//	GET  /sweeps/{id}/events   live sweep progress (SSE)
 //	GET  /metrics  Prometheus text format
 type Server struct {
 	pool  *Pool
 	cache *Cache
 
 	// store, when non-nil, is the durable second-level result cache; its
-	// counters are rendered into /metrics.
+	// counters are rendered into /metrics. Telemetry jobs spill their
+	// series and trace into its telemetry sibling, so
+	// GET /jobs/{key}/telemetry outlives eviction and restarts.
 	store *DiskStore
 
-	mu     sync.Mutex
-	jobs   map[string]*jobRecord
-	nextID int
+	mu        sync.Mutex
+	jobs      map[string]*jobRecord
+	nextID    int
+	sweeps    map[string]*sweepRecord
+	nextSweep int
 
 	// Registry retention (ROADMAP "Job registry growth"): finished
 	// records beyond retainMax, or older than retainTTL, are evicted at
@@ -101,12 +150,17 @@ const DefaultMaxBody = 1 << 20
 // sustained traffic.
 const DefaultRetainJobs = 4096
 
+// retainSweeps bounds the sweep registry: finished sweeps beyond this
+// are evicted oldest-first at registration time.
+const retainSweeps = 1024
+
 // NewServer wraps a pool with a result cache and a job registry.
 func NewServer(pool *Pool) *Server {
 	return &Server{
 		pool:      pool,
 		cache:     NewCache(pool.Metrics()),
 		jobs:      map[string]*jobRecord{},
+		sweeps:    map[string]*sweepRecord{},
 		retainMax: DefaultRetainJobs,
 		maxBody:   DefaultMaxBody,
 	}
@@ -154,6 +208,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/telemetry", s.handleJobTelemetry)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("GET /sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -203,7 +260,6 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (ok b
 // stale finished records per the retention policy.
 func (s *Server) register(req Request) *jobRecord {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.nextID++
 	rec := &jobRecord{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
@@ -211,10 +267,46 @@ func (s *Server) register(req Request) *jobRecord {
 		key:       req.Key(),
 		status:    StatusQueued,
 		submitted: time.Now(),
+		hub:       newEventHub(s.pool.Metrics()),
 	}
 	s.jobs[rec.id] = rec
 	s.evictLocked(time.Now())
+	s.mu.Unlock()
+	rec.hub.publish(JobEvent{Type: "status", Job: rec.id, Status: StatusQueued})
 	return rec
+}
+
+// registerSweep tracks a new sweep over the given cells, evicting the
+// oldest finished sweeps beyond the registry bound.
+func (s *Server) registerSweep(recs []*jobRecord) *sweepRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSweep++
+	sw := &sweepRecord{
+		id:      fmt.Sprintf("sweep-%06d", s.nextSweep),
+		recs:    recs,
+		hub:     newEventHub(s.pool.Metrics()),
+		created: time.Now(),
+	}
+	s.sweeps[sw.id] = sw
+	if len(s.sweeps) > retainSweeps {
+		var done []*sweepRecord
+		for _, old := range s.sweeps {
+			old.mu.Lock()
+			if !old.finished.IsZero() {
+				done = append(done, old)
+			}
+			old.mu.Unlock()
+		}
+		sort.Slice(done, func(i, j int) bool { return done[i].id < done[j].id })
+		for _, old := range done {
+			if len(s.sweeps) <= retainSweeps {
+				break
+			}
+			delete(s.sweeps, old.id)
+		}
+	}
+	return sw
 }
 
 func finishedStatus(status string) bool {
@@ -290,6 +382,7 @@ func (s *Server) setStatus(rec *jobRecord, status string) {
 	s.mu.Lock()
 	rec.status = status
 	s.mu.Unlock()
+	rec.hub.publish(JobEvent{Type: "status", Job: rec.id, Status: status})
 }
 
 // ErrJobTimeout marks a job that failed its per-job deadline. It is
@@ -340,12 +433,23 @@ func (s *Server) execute(ctx context.Context, rec *jobRecord) {
 	s.mu.Lock()
 	rec.tel = tel
 	s.mu.Unlock()
+	if tel != nil && err == nil && s.store != nil {
+		// Spill the full observability output so telemetry survives job
+		// eviction and server restarts; write-behind, off the hot path.
+		trec := &TelemetryRecord{
+			Summary: run.Telemetry,
+			Series:  tel.Series(),
+			Events:  tel.AllEvents(),
+		}
+		if s.store.PutTelemetry(rec.key, trec) {
+			s.pool.Metrics().telemetrySpilled.Add(1)
+		}
+	}
 	s.finishJob(rec, run, cached, err)
 }
 
 func (s *Server) finishJob(rec *jobRecord, run *stats.Run, cached bool, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	rec.finished = time.Now()
 	rec.run, rec.cached, rec.err = run, cached, err
 	switch {
@@ -356,6 +460,14 @@ func (s *Server) finishJob(rec *jobRecord, run *stats.Run, cached bool, err erro
 	default:
 		rec.status = StatusFailed
 	}
+	status := rec.status
+	s.mu.Unlock()
+	ev := JobEvent{Type: "status", Job: rec.id, Status: status, Cached: cached}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	rec.hub.publish(ev)
+	rec.hub.close()
 }
 
 type runRequest struct {
@@ -471,11 +583,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, cell := range cells {
 		recs[i] = s.register(cell)
 	}
+	sw := s.registerSweep(recs)
+	runCell := func(ctx context.Context, rec *jobRecord) {
+		s.execute(ctx, rec)
+		s.mu.Lock()
+		status, cached := rec.status, rec.cached
+		s.mu.Unlock()
+		sw.tick(rec, status, cached)
+	}
 	if req.Async {
 		for _, rec := range recs {
-			go s.execute(context.Background(), rec)
+			go runCell(context.Background(), rec)
 		}
-		writeJSON(w, http.StatusAccepted, s.views(recs))
+		writeJSON(w, http.StatusAccepted, s.sweepView(sw))
 		return
 	}
 	var wg sync.WaitGroup
@@ -483,7 +603,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(rec *jobRecord) {
 			defer wg.Done()
-			s.execute(r.Context(), rec)
+			runCell(r.Context(), rec)
 		}(rec)
 	}
 	wg.Wait()
@@ -497,7 +617,73 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
-	writeJSON(w, code, s.views(recs))
+	writeJSON(w, code, s.sweepView(sw))
+}
+
+// SweepView is the JSON shape of one sweep's progress: the submitted
+// cells plus completed/cache-hit counts, mirrored live on the sweep's
+// SSE stream.
+type SweepView struct {
+	ID        string    `json:"id"`
+	Total     int       `json:"total"`
+	Completed int       `json:"completed"`
+	CacheHits int       `json:"cache_hits"`
+	Done      bool      `json:"done"`
+	Jobs      []JobView `json:"jobs"`
+}
+
+func (s *Server) sweepView(sw *sweepRecord) SweepView {
+	sw.mu.Lock()
+	completed, hits, done := sw.completed, sw.cacheHits, !sw.finished.IsZero()
+	sw.mu.Unlock()
+	return SweepView{
+		ID:        sw.id,
+		Total:     len(sw.recs),
+		Completed: completed,
+		CacheHits: hits,
+		Done:      done,
+		Jobs:      s.views(sw.recs),
+	}
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sw := s.sweeps[id]
+	s.mu.Unlock()
+	if sw == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sweepView(sw))
+}
+
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sw := s.sweeps[id]
+	s.mu.Unlock()
+	if sw == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", id))
+		return
+	}
+	streamEvents(w, r, sw.hub)
+}
+
+// handleJobEvents streams a job's lifecycle transitions as SSE. The
+// replay history means subscribing after the fact still shows the full
+// queued -> running -> terminal sequence; the stream ends at the
+// terminal status.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rec := s.jobs[id]
+	s.mu.Unlock()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	streamEvents(w, r, rec.hub)
 }
 
 func (s *Server) views(recs []*jobRecord) []JobView {
@@ -538,7 +724,10 @@ type TelemetryView struct {
 	// Cached means the record came from the cache: the summary is
 	// shared with the executing job but the series and trace were not
 	// retained for this record.
-	Cached      bool             `json:"cached"`
+	Cached bool `json:"cached"`
+	// Source is "live" when served from the job's in-memory collector,
+	// "store" when read back from the durable telemetry spill.
+	Source      string           `json:"source"`
 	Summary     *stats.Telemetry `json:"summary"`
 	Series      *simtel.Series   `json:"series"`
 	TraceEvents int              `json:"trace_events"`
@@ -549,12 +738,23 @@ type TelemetryView struct {
 //	GET /jobs/{id}/telemetry            summary + series as JSON
 //	GET /jobs/{id}/telemetry?view=csv   series as CSV
 //	GET /jobs/{id}/telemetry?view=trace Chrome trace JSON (Perfetto)
+//
+// {id} is a job id, or a 64-hex JobKey — the latter reads the durable
+// telemetry spill directly, so telemetry outlives job eviction and
+// server restarts (JobView.Key is the handle to keep). A record that
+// existed but just failed validation answers 410 Gone; one that was
+// never spilled answers 404.
 func (s *Server) handleJobTelemetry(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	rec := s.jobs[id]
 	s.mu.Unlock()
 	if rec == nil {
+		// Unknown job id: a content key reads the spill directly.
+		if key, isKey := ParseJobKey(id); isKey {
+			s.serveStoredTelemetry(w, r, id, "evicted", false, key)
+			return
+		}
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
@@ -571,31 +771,82 @@ func (s *Server) handleJobTelemetry(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; telemetry is available once it finishes", id, status))
 		return
 	}
+	if tel == nil {
+		// Cache hit or pre-restart job: the collector never existed here,
+		// but the executing job may have spilled its telemetry.
+		if s.store != nil {
+			if trec, ok, _ := s.store.GetTelemetry(rec.key); ok {
+				s.renderTelemetry(w, r, TelemetryView{ID: id, Status: status, Cached: cached, Source: "store"}, trec)
+				return
+			}
+		}
+		// Summary-only fallback: the record shares the executing job's
+		// summary but no series or trace was retained or spilled.
+		switch view := r.URL.Query().Get("view"); view {
+		case "", "json":
+			v := TelemetryView{ID: id, Status: status, Cached: cached, Source: "live"}
+			if run != nil {
+				v.Summary = run.Telemetry
+			}
+			writeJSON(w, http.StatusOK, v)
+		case "csv", "trace":
+			writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no retained series (cached result)", id))
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown view %q (valid: json, csv, trace)", view))
+		}
+		return
+	}
+	trec := &TelemetryRecord{Series: tel.Series(), Events: tel.AllEvents()}
+	if run != nil {
+		trec.Summary = run.Telemetry
+	}
+	s.renderTelemetry(w, r, TelemetryView{ID: id, Status: status, Cached: cached, Source: "live"}, trec)
+}
+
+// serveStoredTelemetry answers a telemetry request from the durable
+// spill, mapping the store's states onto structured errors: no store or
+// never-spilled -> 404, existed-but-rotten -> 410 Gone.
+func (s *Server) serveStoredTelemetry(w http.ResponseWriter, r *http.Request,
+	id, status string, cached bool, key JobKey) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %s has no retained telemetry (no durable store attached)", id))
+		return
+	}
+	trec, ok, quarantined := s.store.GetTelemetry(key)
+	if !ok {
+		if quarantined {
+			writeError(w, http.StatusGone,
+				fmt.Errorf("telemetry for %s failed validation and was quarantined; re-run the job to regenerate it", id))
+			return
+		}
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no stored telemetry under %s", id))
+		return
+	}
+	s.renderTelemetry(w, r, TelemetryView{ID: id, Status: status, Cached: cached, Source: "store"}, trec)
+}
+
+// renderTelemetry writes one telemetry record in the requested view.
+// Both the live and the stored path land here, so a record read back
+// from disk serves byte-identically to the collector that produced it.
+func (s *Server) renderTelemetry(w http.ResponseWriter, r *http.Request, v TelemetryView, trec *TelemetryRecord) {
 	switch r.URL.Query().Get("view") {
 	case "", "json":
-		v := TelemetryView{ID: id, Status: status, Cached: cached}
-		if run != nil {
-			v.Summary = run.Telemetry
-		}
-		if tel != nil {
-			v.Series = tel.Series()
-			v.TraceEvents = len(tel.Events())
-		}
+		v.Summary = trec.Summary
+		v.Series = trec.Series
+		v.TraceEvents = len(trec.Events)
 		writeJSON(w, http.StatusOK, v)
 	case "csv":
-		if tel == nil {
-			writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no retained series (cached result)", id))
+		if trec.Series == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no retained series", v.ID))
 			return
 		}
 		w.Header().Set("Content-Type", "text/csv")
-		tel.Series().WriteCSV(w)
+		trec.Series.WriteCSV(w)
 	case "trace":
-		if tel == nil {
-			writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no retained trace (cached result)", id))
-			return
-		}
 		w.Header().Set("Content-Type", "application/json")
-		tel.WriteTrace(w)
+		simtel.WriteTraceEvents(w, trec.Events)
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown view %q (valid: json, csv, trace)", r.URL.Query().Get("view")))
 	}

@@ -165,14 +165,17 @@ func TestServerSweepDedupesIdenticalCells(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d: %s", resp.StatusCode, body)
 	}
-	var views []JobView
-	if err := json.Unmarshal(body, &views); err != nil {
+	var sv SweepView
+	if err := json.Unmarshal(body, &sv); err != nil {
 		t.Fatal(err)
 	}
-	if len(views) != 4 {
-		t.Fatalf("cells = %d, want 4", len(views))
+	if len(sv.Jobs) != 4 {
+		t.Fatalf("cells = %d, want 4", len(sv.Jobs))
 	}
-	for i, v := range views {
+	if sv.ID == "" || !sv.Done || sv.Completed != 4 || sv.Total != 4 {
+		t.Errorf("sweep envelope = %+v", sv)
+	}
+	for i, v := range sv.Jobs {
 		if v.Status != StatusDone || v.Run == nil {
 			t.Errorf("cell %d: %+v", i, v)
 		}

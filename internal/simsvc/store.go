@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"reflect"
 	"sync"
 
@@ -13,8 +14,26 @@ import (
 	"ladm/internal/kir"
 	rt "ladm/internal/runtime"
 	"ladm/internal/simstore"
+	"ladm/internal/simtel"
 	"ladm/internal/stats"
 )
+
+// TelemetrySchema is the key schema of spilled telemetry records. It is
+// separate from KeySchema because the payloads version independently: a
+// telemetry shape change must not invalidate cached run records, and
+// vice versa.
+const TelemetrySchema = "simsvc-telemetry/v1"
+
+// TelemetryRecord is the durable form of one telemetry job's full
+// observability output: the provenance summary, the sampled series, and
+// the complete Chrome trace event list (spans plus counter tracks), so a
+// record read back after eviction or restart renders byte-identically to
+// the live collector.
+type TelemetryRecord struct {
+	Summary *stats.Telemetry `json:"summary"`
+	Series  *simtel.Series   `json:"series"`
+	Events  []simtel.Event   `json:"events"`
+}
 
 // DiskStore adapts the generic byte-envelope store of internal/simstore
 // to the Cache's RunStore interface: records are stats.Run JSON payloads
@@ -24,11 +43,22 @@ import (
 // observes a miss.
 type DiskStore struct {
 	Store *simstore.Store
+	// Tel is the sibling store for spilled telemetry records (nil when
+	// its directory could not be opened; telemetry then lives and dies
+	// with the job registry, exactly as before the spill existed).
+	Tel *simstore.Store
 	// Tool names the producing binary in each envelope's provenance.
 	Tool string
 }
 
-// NewDiskStore opens a simstore under dir for this service's key schema.
+// TelemetryDir returns the telemetry store's directory under a result
+// store root.
+func TelemetryDir(dir string) string { return filepath.Join(dir, "telemetry") }
+
+// NewDiskStore opens a simstore under dir for this service's key schema,
+// plus a telemetry store under dir/telemetry. A telemetry-store failure
+// degrades to running without the spill — run records are the product,
+// telemetry is diagnostics.
 func NewDiskStore(dir string, maxBytes int64, tool string, logf func(string, ...any)) (*DiskStore, error) {
 	st, err := simstore.Open(simstore.Options{
 		Dir:      dir,
@@ -39,7 +69,19 @@ func NewDiskStore(dir string, maxBytes int64, tool string, logf func(string, ...
 	if err != nil {
 		return nil, err
 	}
-	return &DiskStore{Store: st, Tool: tool}, nil
+	tel, err := simstore.Open(simstore.Options{
+		Dir:      TelemetryDir(dir),
+		MaxBytes: maxBytes,
+		Schema:   TelemetrySchema,
+		Logf:     logf,
+	})
+	if err != nil {
+		if logf != nil {
+			logf("simsvc: telemetry store unavailable, running without spill: %v", err)
+		}
+		tel = nil
+	}
+	return &DiskStore{Store: st, Tel: tel, Tool: tool}, nil
 }
 
 // GetRun returns the record persisted under key, if a valid one exists.
@@ -66,9 +108,51 @@ func (d *DiskStore) PutRun(key JobKey, run *stats.Run) {
 	d.Store.PutAsync(key.String(), payload, stats.NewProvenance(d.Tool))
 }
 
-// Close flushes pending write-backs and releases the store.
+// PutTelemetry persists a telemetry record via the telemetry store's
+// write-behind queue. Returns false when there is no telemetry store or
+// the record does not serialize.
+func (d *DiskStore) PutTelemetry(key JobKey, rec *TelemetryRecord) bool {
+	if d.Tel == nil || rec == nil {
+		return false
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return false
+	}
+	d.Tel.PutAsync(key.String(), payload, stats.NewProvenance(d.Tool))
+	return true
+}
+
+// GetTelemetry returns the telemetry record spilled under key.
+// quarantined=true reports that a record existed but failed validation
+// just now (the caller's cue to answer 410 Gone rather than 404): the
+// envelope layer quarantines checksum failures, and payloads that pass
+// the CRC but no longer decode as a TelemetryRecord are quarantined
+// here for the same reason.
+func (d *DiskStore) GetTelemetry(key JobKey) (rec *TelemetryRecord, ok, quarantined bool) {
+	if d.Tel == nil {
+		return nil, false, false
+	}
+	k := key.String()
+	existed := d.Tel.Contains(k)
+	payload, got := d.Tel.Get(k)
+	if !got {
+		return nil, false, existed
+	}
+	rec = new(TelemetryRecord)
+	if err := json.Unmarshal(payload, rec); err != nil {
+		d.Tel.Quarantine(k, fmt.Errorf("payload is not a TelemetryRecord: %w", err))
+		return nil, false, true
+	}
+	return rec, true, false
+}
+
+// Close flushes pending write-backs and releases both stores.
 func (d *DiskStore) Close() {
 	d.Store.Close()
+	if d.Tel != nil {
+		d.Tel.Close()
+	}
 }
 
 // RequestForJob maps a sweep job back to the registry Request naming it,
@@ -139,6 +223,11 @@ type CachedRunner struct {
 	// Scale is the input-scale divisor the sweep's workloads were built
 	// at; it is part of every JobKey.
 	Scale int
+	// Progress, when set, is called once per finished cell with the
+	// completed count so far, the sweep's total, the cell's name and
+	// whether it was served from the cache. Calls are serialized but may
+	// come from any of the sweep's goroutines; keep the callback fast.
+	Progress func(done, total int, cell string, cached bool)
 }
 
 // Sweep executes the jobs, serving registry-named cells from the cache
@@ -175,6 +264,8 @@ func (c *CachedRunner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
 		firstErr error
+		progMu   sync.Mutex
+		done     int
 	)
 	fail := func(err error) {
 		errMu.Lock()
@@ -182,6 +273,19 @@ func (c *CachedRunner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run
 			firstErr = err
 		}
 		errMu.Unlock()
+	}
+	tick := func(job core.Job, cached bool) {
+		if c.Progress == nil {
+			return
+		}
+		cell := job.Label
+		if cell == "" && job.Workload != nil {
+			cell = fmt.Sprintf("%s/%s", job.Workload.Name, job.Policy.Name)
+		}
+		progMu.Lock()
+		done++
+		c.Progress(done, len(jobs), cell, cached)
+		progMu.Unlock()
 	}
 	for i, job := range jobs {
 		req, ok := requestFor(job)
@@ -197,7 +301,7 @@ func (c *CachedRunner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run
 			// The cache holds the canonical record (run.Policy = the
 			// policy's own name); labels are applied to clones below.
 			job.Label = ""
-			run, _, err := c.Cache.Do(ctx, key, func() (*stats.Run, error) {
+			run, hit, err := c.Cache.Do(ctx, key, func() (*stats.Run, error) {
 				rs, err := c.Inner.Sweep(ctx, []core.Job{job})
 				if err != nil {
 					return nil, err
@@ -208,6 +312,7 @@ func (c *CachedRunner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run
 				fail(err)
 				return
 			}
+			tick(job, hit)
 			if label != "" {
 				run = run.Clone()
 				run.Policy = label
@@ -222,6 +327,7 @@ func (c *CachedRunner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run
 		} else {
 			for k, i := range passIdx {
 				results[i] = rs[k]
+				tick(passJobs[k], false)
 			}
 		}
 	}

@@ -102,7 +102,9 @@ func (c *Collector) TxSpan(node, sm, bytes int, store bool, start, end float64) 
 	})
 }
 
-// Events returns the collected trace events (nil-safe).
+// Events returns the collected span and metadata events (nil-safe).
+// Counter-track events derived from the sampled series are not included;
+// see CounterEvents and AllEvents.
 func (c *Collector) Events() []Event {
 	if c == nil {
 		return nil
@@ -110,12 +112,100 @@ func (c *Collector) Events() []Event {
 	return c.events
 }
 
-// WriteTrace writes the events as a Chrome trace JSON object, one event
-// per line. The output loads directly in chrome://tracing and Perfetto.
+// CounterEvents renders the sampled series as Chrome counter-track
+// events ("ph":"C"): per-node crossbar/L2/DRAM utilization, DRAM
+// bandwidth, MSHR occupancy and TB queue state on the node's own
+// process (so the counters line up under that node's TB spans), per-GPU
+// ring/link utilization on one fabric process per GPU, and launch batch
+// progress on the kernels process. Nil-safe; empty unless sampling was
+// enabled.
+func (c *Collector) CounterEvents() []Event {
+	if !c.Sampling() || len(c.series.Samples) == 0 {
+		return nil
+	}
+	nodes := c.nodes
+	if nodes == 0 {
+		// Sampling without tracing: no topology metadata was recorded,
+		// so derive the node count from the samples themselves.
+		nodes = len(c.series.Samples[0].Nodes)
+	}
+	kernelsPID := nodes
+	gpuPID := func(g int) int { return nodes + 1 + g }
+
+	var evs []Event
+	if !c.metaDone {
+		// Counters-only trace: name the node processes here, since
+		// SetTopology never ran.
+		for n := 0; n < nodes; n++ {
+			evs = append(evs, Event{
+				Name: "process_name", Ph: "M", PID: n,
+				Args: map[string]any{"name": fmt.Sprintf("node%d", n)},
+			})
+		}
+		evs = append(evs, Event{
+			Name: "process_name", Ph: "M", PID: kernelsPID,
+			Args: map[string]any{"name": "kernels"},
+		})
+	}
+	for g := range c.series.Samples[0].GPUs {
+		evs = append(evs, Event{
+			Name: "process_name", Ph: "M", PID: gpuPID(g),
+			Args: map[string]any{"name": fmt.Sprintf("gpu%d fabric", g)},
+		})
+	}
+	count := func(name string, pid int, ts float64, args map[string]any) {
+		evs = append(evs, Event{Name: name, Cat: "counter", Ph: "C", TS: ts, PID: pid, Args: args})
+	}
+	for _, s := range c.series.Samples {
+		for n, ns := range s.Nodes {
+			count("xbar util", n, s.Cycle, map[string]any{"util": ns.IntraUtil})
+			count("l2 util", n, s.Cycle, map[string]any{"util": ns.L2Util})
+			count("dram util", n, s.Cycle, map[string]any{"util": ns.DRAMUtil})
+			count("dram bytes/cycle", n, s.Cycle, map[string]any{"bw": ns.DRAMBw})
+			count("mshr in-flight", n, s.Cycle, map[string]any{"peak": ns.MSHRPeak, "mean": ns.MSHRMean})
+		}
+		for n, sc := range s.Sched {
+			count("tb sched", n, s.Cycle, map[string]any{"queued": sc.QueueDepth, "running": sc.Running})
+		}
+		for g, gs := range s.GPUs {
+			count("ring util", gpuPID(g), s.Cycle, map[string]any{"util": gs.RingUtil})
+			count("link util", gpuPID(g), s.Cycle, map[string]any{"util": gs.LinkUtil})
+		}
+		count("batch progress", kernelsPID, s.Cycle, map[string]any{"progress": s.Batch.Progress})
+	}
+	return evs
+}
+
+// AllEvents returns every event of the trace file: the recorded spans
+// and metadata followed by the counter tracks derived from the sampled
+// series. Nil-safe.
+func (c *Collector) AllEvents() []Event {
+	if c == nil {
+		return nil
+	}
+	counters := c.CounterEvents()
+	if len(counters) == 0 {
+		return c.events
+	}
+	out := make([]Event, 0, len(c.events)+len(counters))
+	out = append(out, c.events...)
+	return append(out, counters...)
+}
+
+// WriteTrace writes the collector's spans plus counter tracks as a
+// Chrome trace JSON object. The output loads directly in
+// chrome://tracing and Perfetto.
 func (c *Collector) WriteTrace(w io.Writer) error {
+	return WriteTraceEvents(w, c.AllEvents())
+}
+
+// WriteTraceEvents writes events as a Chrome trace JSON object, one
+// event per line — the standalone serializer behind Collector.WriteTrace,
+// usable on events read back from a durable store.
+func WriteTraceEvents(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
-	for i, ev := range c.Events() {
+	for i, ev := range events {
 		b, err := json.Marshal(ev)
 		if err != nil {
 			return err

@@ -22,6 +22,27 @@ type NodeCum struct {
 	DRAMBusy     float64 // per-channel-normalized HBM busy cycles
 	DRAMBytes    uint64  // bytes served by the node's HBM
 	DRAMBacklog  float64 // busiest channel's queued cycles right now
+	MSHRPeak     int     // busiest SM's in-flight transactions right now
+	MSHRMean     float64 // mean in-flight transactions across the node's SMs
+}
+
+// SchedNodeCum is one node's scheduler counters at a sample boundary:
+// queue depth and running TBs are instantaneous, retired and steals are
+// cumulative (the collector differences them into per-interval counts).
+type SchedNodeCum struct {
+	QueueDepth int   // TBs still waiting in the node's queue right now
+	Running    int   // TBs resident on the node's SMs right now
+	Retired    int64 // TBs retired on this node since the run began
+	Steals     int64 // TBs this node's SMs stole from other queues (cumulative)
+}
+
+// BatchCum is the launch-progress snapshot at a sample boundary: the
+// scheduling batch granularity plus how far the current kernel launch
+// has progressed (LASP batch progress).
+type BatchCum struct {
+	BatchTBs   int // scheduling batch granularity of the current launch
+	TotalTBs   int // threadblocks in the current launch
+	RetiredTBs int // threadblocks of the current launch already retired
 }
 
 // GPUCum is one GPU's cumulative fabric counters at a sample boundary.
@@ -39,6 +60,8 @@ type Cumulative struct {
 	Cycle     float64
 	Nodes     []NodeCum
 	GPUs      []GPUCum
+	Sched     []SchedNodeCum
+	Batch     BatchCum
 	L2Sectors [stats.NumTrafficCats]uint64
 }
 
@@ -51,6 +74,24 @@ type NodeSample struct {
 	DRAMUtil    float64 `json:"dram_util"`    // HBM channel utilization
 	DRAMBw      float64 `json:"dram_bw"`      // HBM bytes/cycle this interval
 	DRAMBacklog float64 `json:"dram_backlog"` // busiest channel's queued cycles
+	MSHRPeak    int     `json:"mshr_peak"`    // busiest SM's in-flight transactions
+	MSHRMean    float64 `json:"mshr_mean"`    // mean in-flight transactions per SM
+}
+
+// SchedSample is one node's per-interval scheduler telemetry.
+type SchedSample struct {
+	QueueDepth int   `json:"queue_depth"` // TBs waiting in the node's queue
+	Running    int   `json:"running"`     // TBs resident on the node's SMs
+	Retired    int64 `json:"retired"`     // TBs retired on this node this interval
+	Steals     int64 `json:"steals"`      // TBs stolen by this node this interval
+}
+
+// BatchSample is the per-interval launch-progress telemetry.
+type BatchSample struct {
+	BatchTBs int     `json:"batch_tbs"` // scheduling batch granularity
+	DoneTBs  int     `json:"done_tbs"`  // retired TBs of the current launch
+	TotalTBs int     `json:"total_tbs"` // TBs in the current launch
+	Progress float64 `json:"progress"`  // done/total, in [0,1]
 }
 
 // GPUSample is one GPU's per-interval fabric telemetry.
@@ -63,9 +104,11 @@ type GPUSample struct {
 // Sample is one interval of the simulated-time series, stamped with the
 // cycle of its right edge.
 type Sample struct {
-	Cycle float64      `json:"cycle"`
-	Nodes []NodeSample `json:"nodes"`
-	GPUs  []GPUSample  `json:"gpus"`
+	Cycle float64       `json:"cycle"`
+	Nodes []NodeSample  `json:"nodes"`
+	GPUs  []GPUSample   `json:"gpus"`
+	Sched []SchedSample `json:"sched,omitempty"`
+	Batch BatchSample   `json:"batch"`
 	// L2Rates is L2 sector throughput by traffic category
 	// (LOCAL-LOCAL, LOCAL-REMOTE, REMOTE-LOCAL), in sectors/cycle.
 	L2Rates [stats.NumTrafficCats]float64 `json:"l2_rates"`
@@ -88,6 +131,7 @@ func (c *Collector) Record(cum Cumulative) {
 		c.prev = Cumulative{
 			Nodes: make([]NodeCum, len(cum.Nodes)),
 			GPUs:  make([]GPUCum, len(cum.GPUs)),
+			Sched: make([]SchedNodeCum, len(cum.Sched)),
 		}
 		c.primed = true
 	}
@@ -110,7 +154,33 @@ func (c *Collector) Record(cum Cumulative) {
 			DRAMUtil:    util(now.DRAMBusy-was.DRAMBusy, dt),
 			DRAMBw:      float64(now.DRAMBytes-was.DRAMBytes) / dt,
 			DRAMBacklog: now.DRAMBacklog,
+			MSHRPeak:    now.MSHRPeak,
+			MSHRMean:    now.MSHRMean,
 		}
+	}
+	if len(cum.Sched) > 0 {
+		s.Sched = make([]SchedSample, len(cum.Sched))
+		for i := range cum.Sched {
+			now := &cum.Sched[i]
+			var was SchedNodeCum
+			if i < len(c.prev.Sched) {
+				was = c.prev.Sched[i]
+			}
+			s.Sched[i] = SchedSample{
+				QueueDepth: now.QueueDepth,
+				Running:    now.Running,
+				Retired:    now.Retired - was.Retired,
+				Steals:     now.Steals - was.Steals,
+			}
+		}
+	}
+	s.Batch = BatchSample{
+		BatchTBs: cum.Batch.BatchTBs,
+		DoneTBs:  cum.Batch.RetiredTBs,
+		TotalTBs: cum.Batch.TotalTBs,
+	}
+	if cum.Batch.TotalTBs > 0 {
+		s.Batch.Progress = float64(cum.Batch.RetiredTBs) / float64(cum.Batch.TotalTBs)
 	}
 	for i := range cum.GPUs {
 		now, was := &cum.GPUs[i], &c.prev.GPUs[i]
@@ -160,7 +230,7 @@ func (c *Collector) Summary() *stats.Telemetry {
 		Samples:         len(c.series.Samples),
 		SaturationCycle: -1,
 	}
-	var linkSum, ringSum float64
+	var linkSum, ringSum, mshrSum float64
 	for _, s := range c.series.Samples {
 		var link, ring float64
 		for g, gs := range s.GPUs {
@@ -175,6 +245,7 @@ func (c *Collector) Summary() *stats.Telemetry {
 				t.MaxQueueResource = fmt.Sprintf("link.g%d", g)
 			}
 		}
+		var nodeMean float64
 		for n, ns := range s.Nodes {
 			if ns.DRAMUtil > t.PeakDRAMUtil {
 				t.PeakDRAMUtil = ns.DRAMUtil
@@ -187,6 +258,16 @@ func (c *Collector) Summary() *stats.Telemetry {
 				t.MaxQueueDepth = ns.DRAMBacklog
 				t.MaxQueueResource = fmt.Sprintf("hbm.n%d", n)
 			}
+			if ns.MSHRPeak > t.PeakMSHR {
+				t.PeakMSHR = ns.MSHRPeak
+			}
+			nodeMean += ns.MSHRMean
+		}
+		if len(s.Nodes) > 0 {
+			mshrSum += nodeMean / float64(len(s.Nodes))
+		}
+		for _, sc := range s.Sched {
+			t.TBSteals += sc.Steals
 		}
 		if link > t.PeakLinkUtil {
 			t.PeakLinkUtil = link
@@ -203,6 +284,7 @@ func (c *Collector) Summary() *stats.Telemetry {
 	n := float64(len(c.series.Samples))
 	t.MeanLinkUtil = linkSum / n
 	t.MeanRingUtil = ringSum / n
+	t.MeanMSHR = mshrSum / n
 	return t
 }
 
@@ -214,32 +296,45 @@ func (s *Series) WriteJSON(w io.Writer) error {
 }
 
 // WriteCSV writes the series as one row per sample: a cycle column, the
-// per-node and per-GPU columns, then the three L2 traffic-category rates.
+// per-node memory columns, the per-GPU fabric columns, the three L2
+// traffic-category rates, the per-node scheduler columns, and the
+// launch-progress columns.
 func (s *Series) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	nodes, gpus := 0, 0
+	nodes, gpus, sched := 0, 0, 0
 	if len(s.Samples) > 0 {
-		nodes, gpus = len(s.Samples[0].Nodes), len(s.Samples[0].GPUs)
+		first := &s.Samples[0]
+		nodes, gpus, sched = len(first.Nodes), len(first.GPUs), len(first.Sched)
 	}
 	bw.WriteString("cycle")
 	for n := 0; n < nodes; n++ {
-		fmt.Fprintf(bw, ",n%d.intra_util,n%d.l2_util,n%d.l2_backlog,n%d.l2_resident,n%d.dram_util,n%d.dram_bw,n%d.dram_backlog",
-			n, n, n, n, n, n, n)
+		fmt.Fprintf(bw, ",n%d.intra_util,n%d.l2_util,n%d.l2_backlog,n%d.l2_resident,n%d.dram_util,n%d.dram_bw,n%d.dram_backlog,n%d.mshr_peak,n%d.mshr_mean",
+			n, n, n, n, n, n, n, n, n)
 	}
 	for g := 0; g < gpus; g++ {
 		fmt.Fprintf(bw, ",g%d.ring_util,g%d.link_util,g%d.link_backlog", g, g, g)
 	}
-	bw.WriteString(",l2.local_local,l2.local_remote,l2.remote_local\n")
+	bw.WriteString(",l2.local_local,l2.local_remote,l2.remote_local")
+	for n := 0; n < sched; n++ {
+		fmt.Fprintf(bw, ",n%d.tb_queue,n%d.tb_running,n%d.tb_retired,n%d.tb_steals", n, n, n, n)
+	}
+	bw.WriteString(",batch.tbs,batch.done,batch.total,batch.progress\n")
 	for _, smp := range s.Samples {
 		bw.WriteString(fcsv(smp.Cycle))
 		for _, ns := range smp.Nodes {
 			writeCells(bw, ns.IntraUtil, ns.L2Util, ns.L2Backlog, float64(ns.L2Resident),
-				ns.DRAMUtil, ns.DRAMBw, ns.DRAMBacklog)
+				ns.DRAMUtil, ns.DRAMBw, ns.DRAMBacklog, float64(ns.MSHRPeak), ns.MSHRMean)
 		}
 		for _, gs := range smp.GPUs {
 			writeCells(bw, gs.RingUtil, gs.LinkUtil, gs.LinkBacklog)
 		}
 		writeCells(bw, smp.L2Rates[0], smp.L2Rates[1], smp.L2Rates[2])
+		for _, sc := range smp.Sched {
+			writeCells(bw, float64(sc.QueueDepth), float64(sc.Running),
+				float64(sc.Retired), float64(sc.Steals))
+		}
+		writeCells(bw, float64(smp.Batch.BatchTBs), float64(smp.Batch.DoneTBs),
+			float64(smp.Batch.TotalTBs), smp.Batch.Progress)
 		bw.WriteByte('\n')
 	}
 	return bw.Flush()

@@ -40,6 +40,8 @@ func TestNilCollectorZeroAllocs(t *testing.T) {
 		c.Record(Cumulative{Cycle: 1000})
 		_ = c.SampleEvery()
 		_ = c.Events()
+		_ = c.CounterEvents()
+		_ = c.AllEvents()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled collector allocated %.1f times per run, want 0", allocs)
@@ -157,8 +159,9 @@ func TestWriteCSV(t *testing.T) {
 	if len(header) != len(row) {
 		t.Fatalf("header has %d cols, row has %d", len(header), len(row))
 	}
-	// cycle + 2 nodes x 7 + 1 gpu x 3 + 3 L2 categories
-	if want := 1 + 2*7 + 1*3 + 3; len(header) != want {
+	// cycle + 2 nodes x 9 + 1 gpu x 3 + 3 L2 categories + 4 batch
+	// columns (this sample carries no per-node scheduler state).
+	if want := 1 + 2*9 + 1*3 + 3 + 4; len(header) != want {
 		t.Errorf("cols = %d, want %d (%v)", len(header), want, header)
 	}
 	if header[0] != "cycle" || row[0] != "50" {
@@ -166,6 +169,159 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if header[1] != "n0.intra_util" || row[1] != "0.5" {
 		t.Errorf("intra col = %q %q", header[1], row[1])
+	}
+}
+
+// TestRecordSchedAndBatch checks the scheduler differencing: queue depth
+// and running TBs pass through as instantaneous values while retired and
+// steal counts become per-interval deltas, and batch progress derives
+// from retired/total.
+func TestRecordSchedAndBatch(t *testing.T) {
+	c := New(Config{SampleEvery: 100})
+	c.Record(Cumulative{
+		Cycle: 100,
+		Nodes: []NodeCum{{MSHRPeak: 8, MSHRMean: 3.5}},
+		Sched: []SchedNodeCum{{QueueDepth: 6, Running: 2, Retired: 4, Steals: 1}},
+		Batch: BatchCum{BatchTBs: 4, TotalTBs: 16, RetiredTBs: 4},
+	})
+	c.Record(Cumulative{
+		Cycle: 200,
+		Nodes: []NodeCum{{MSHRPeak: 2, MSHRMean: 1.0}},
+		Sched: []SchedNodeCum{{QueueDepth: 0, Running: 1, Retired: 15, Steals: 3}},
+		Batch: BatchCum{BatchTBs: 4, TotalTBs: 16, RetiredTBs: 15},
+	})
+	s := c.Series()
+	if len(s.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(s.Samples))
+	}
+	first, second := s.Samples[0], s.Samples[1]
+	if first.Nodes[0].MSHRPeak != 8 || first.Nodes[0].MSHRMean != 3.5 {
+		t.Errorf("first mshr = %+v", first.Nodes[0])
+	}
+	if got := first.Sched[0]; got != (SchedSample{QueueDepth: 6, Running: 2, Retired: 4, Steals: 1}) {
+		t.Errorf("first sched sample = %+v", got)
+	}
+	// Second interval differences the cumulative retired/steal counters.
+	if got := second.Sched[0]; got != (SchedSample{QueueDepth: 0, Running: 1, Retired: 11, Steals: 2}) {
+		t.Errorf("second sched sample = %+v", got)
+	}
+	if first.Batch.Progress != 0.25 || second.Batch.Progress != 15.0/16 {
+		t.Errorf("batch progress = %v then %v", first.Batch.Progress, second.Batch.Progress)
+	}
+
+	sum := c.Summary()
+	if sum.PeakMSHR != 8 {
+		t.Errorf("peak mshr = %d, want 8", sum.PeakMSHR)
+	}
+	if sum.MeanMSHR != (3.5+1.0)/2 {
+		t.Errorf("mean mshr = %v", sum.MeanMSHR)
+	}
+	// Steals summed over per-interval deltas reproduce the cumulative.
+	if sum.TBSteals != 3 {
+		t.Errorf("tb steals = %d, want 3", sum.TBSteals)
+	}
+}
+
+func TestCounterEvents(t *testing.T) {
+	c := New(Config{SampleEvery: 100})
+	if evs := c.CounterEvents(); evs != nil {
+		t.Fatalf("counter events before any sample = %v", evs)
+	}
+	c.Record(Cumulative{
+		Cycle: 100,
+		Nodes: []NodeCum{{IntraBusy: 50, MSHRPeak: 4, MSHRMean: 2}, {}},
+		GPUs:  []GPUCum{{EgressBusy: 80}},
+		Sched: []SchedNodeCum{{QueueDepth: 3, Running: 1}, {}},
+		Batch: BatchCum{BatchTBs: 2, TotalTBs: 8, RetiredTBs: 2},
+	})
+	evs := c.CounterEvents()
+	if len(evs) == 0 {
+		t.Fatal("no counter events")
+	}
+	// Sampling without tracing: the node count comes from the sample, so
+	// the kernels pid is 2 and the gpu fabric pid is 3; process metadata
+	// must be emitted for all of them.
+	meta := map[int]string{}
+	byName := map[string][]Event{}
+	for _, ev := range evs {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				meta[ev.PID] = ev.Args["name"].(string)
+			}
+		case "C":
+			byName[ev.Name] = append(byName[ev.Name], ev)
+		default:
+			t.Errorf("unexpected phase %q in counter events: %+v", ev.Ph, ev)
+		}
+	}
+	for pid, want := range map[int]string{0: "node0", 1: "node1", 2: "kernels", 3: "gpu0 fabric"} {
+		if meta[pid] != want {
+			t.Errorf("process %d named %q, want %q", pid, meta[pid], want)
+		}
+	}
+	if xb := byName["xbar util"]; len(xb) != 2 || xb[0].Args["util"] != 0.5 || xb[0].TS != 100 {
+		t.Errorf("xbar counters = %+v", xb)
+	}
+	if ms := byName["mshr in-flight"]; len(ms) != 2 || ms[0].Args["peak"] != 4 || ms[0].Args["mean"] != 2.0 {
+		t.Errorf("mshr counters = %+v", ms)
+	}
+	if sc := byName["tb sched"]; len(sc) != 2 || sc[0].Args["queued"] != 3 || sc[0].Args["running"] != 1 {
+		t.Errorf("sched counters = %+v", sc)
+	}
+	if ring := byName["ring util"]; len(ring) != 1 || ring[0].PID != 3 {
+		t.Errorf("ring counters = %+v", ring)
+	}
+	if bp := byName["batch progress"]; len(bp) != 1 || bp[0].PID != 2 || bp[0].Args["progress"] != 0.25 {
+		t.Errorf("batch counters = %+v", bp)
+	}
+	// The trace file carries the counters and parses as Chrome JSON.
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != len(evs) {
+		t.Errorf("trace has %d events, want %d", len(doc.TraceEvents), len(evs))
+	}
+}
+
+// TestTraceOnlyCollectorHasNoCounters pins the trace-only golden path:
+// without sampling, WriteTrace output is exactly the recorded spans.
+func TestTraceOnlyCollectorHasNoCounters(t *testing.T) {
+	c := New(Config{Trace: true})
+	c.SetTopology(1, 1)
+	c.KernelSpan("k", 4, 0, 100)
+	if evs := c.CounterEvents(); evs != nil {
+		t.Fatalf("trace-only collector produced counters: %v", evs)
+	}
+	if all, spans := c.AllEvents(), c.Events(); len(all) != len(spans) {
+		t.Fatalf("AllEvents = %d events, Events = %d", len(all), len(spans))
+	}
+}
+
+func TestWriteTraceEventsStandalone(t *testing.T) {
+	events := []Event{
+		{Name: "k", Cat: "kernel", Ph: "X", TS: 0, Dur: 10, PID: 1},
+		{Name: "c", Cat: "counter", Ph: "C", TS: 5, PID: 0, Args: map[string]any{"v": 1.5}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 || doc.TraceEvents[1].Args["v"] != 1.5 {
+		t.Fatalf("round trip = %+v", doc.TraceEvents)
 	}
 }
 

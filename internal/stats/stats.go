@@ -136,6 +136,18 @@ type Telemetry struct {
 	MaxQueueDepth    float64 `json:"max_queue_depth"`
 	MaxQueueResource string  `json:"max_queue_resource,omitempty"`
 
+	// PeakMSHR is the highest sampled per-SM MSHR occupancy (in-flight
+	// transactions) any SM reached; MeanMSHR averages the machine-wide
+	// mean occupancy over samples. Together they separate "the fabric is
+	// slow" from "the SMs ran out of outstanding-miss slots".
+	PeakMSHR int     `json:"peak_mshr,omitempty"`
+	MeanMSHR float64 `json:"mean_mshr,omitempty"`
+
+	// TBSteals counts threadblocks executed by a node other than the one
+	// their queue assigned them to (non-zero only under the opt-in
+	// Policy.StealTBs work-stealing knob).
+	TBSteals int64 `json:"tb_steals,omitempty"`
+
 	// SaturationCycle is the first sample boundary where a link or ring
 	// reached saturation utilization; -1 when none ever did.
 	SaturationCycle float64 `json:"saturation_cycle"`
