@@ -1,12 +1,17 @@
 // Command benchguard is the benchmark regression gate for the engine's
-// allocation-free event core. It parses `go test -bench -benchmem` output
-// and compares each benchmark's allocs/op against the ceiling pinned in
-// BENCH_engine.json, failing when any benchmark regresses above it.
+// allocation-free event core and the analytic tier's speed claims. It
+// parses `go test -bench -benchmem` output and compares each benchmark
+// against the baseline pinned in BENCH_engine.json, failing when any
+// benchmark regresses.
 //
-// Allocation counts are (nearly) deterministic for a deterministic
-// simulator, so they make a sharp CI signal; wall-clock ns/op is recorded
-// in the baseline for reference but never gated — shared CI runners are
-// far too noisy for that.
+// Two gates apply per benchmark. Allocation counts are (nearly)
+// deterministic for a deterministic simulator, so allocs/op is gated
+// sharply against max_allocs_per_op. Wall-clock ns/op is gated loosely:
+// a run fails only beyond max_ns_ratio times the pinned ns_per_op
+// (default 3x, per-benchmark override in the baseline; 0 on an entry
+// inherits the file default). The loose ratio absorbs shared-runner
+// noise while still catching order-of-magnitude regressions — e.g. the
+// analytic tier silently falling back to event simulation.
 //
 // Usage:
 //
@@ -14,7 +19,8 @@
 //	go run ./cmd/benchguard -baseline BENCH_engine.json bench.txt
 //
 // After an intentional change to the engine's allocation behavior,
-// regenerate the baseline (ceilings are re-pinned at 1.5x measured):
+// regenerate the baseline (ceilings are re-pinned at 1.5x measured;
+// ns_per_op is re-measured, ratio overrides are preserved):
 //
 //	go run ./cmd/benchguard -baseline BENCH_engine.json -update bench.txt
 package main
@@ -36,11 +42,33 @@ type entry struct {
 	NsPerOp        float64 `json:"ns_per_op"`
 	AllocsPerOp    int64   `json:"allocs_per_op"`
 	MaxAllocsPerOp int64   `json:"max_allocs_per_op"`
+	// MaxNsRatio overrides the baseline's ns/op gate for this benchmark
+	// (0: inherit the file-level default).
+	MaxNsRatio float64 `json:"max_ns_ratio,omitempty"`
 }
 
 type baseline struct {
 	Note       string           `json:"note"`
 	Benchmarks map[string]entry `json:"benchmarks"`
+	// MaxNsRatio is the default wall-time gate: a benchmark fails beyond
+	// this multiple of its pinned ns_per_op (0: defaultNsRatio).
+	MaxNsRatio float64 `json:"max_ns_ratio,omitempty"`
+}
+
+// defaultNsRatio is the wall-time gate applied when the baseline pins no
+// ratio of its own: loose enough for shared-runner noise, tight enough
+// to catch a tier or algorithmic regression.
+const defaultNsRatio = 3.0
+
+// nsRatioLimit resolves the effective ns/op gate for one benchmark.
+func nsRatioLimit(base baseline, e entry) float64 {
+	if e.MaxNsRatio > 0 {
+		return e.MaxNsRatio
+	}
+	if base.MaxNsRatio > 0 {
+		return base.MaxNsRatio
+	}
+	return defaultNsRatio
 }
 
 type measurement struct {
@@ -138,11 +166,17 @@ func main() {
 			if !m.hasAllocs {
 				continue
 			}
-			base.Benchmarks[name] = entry{
+			e := entry{
 				NsPerOp:        m.nsPerOp,
 				AllocsPerOp:    m.allocsPerOp,
 				MaxAllocsPerOp: m.allocsPerOp + m.allocsPerOp/2,
 			}
+			// Ratio overrides are policy, not measurement; they survive
+			// a re-pin.
+			if old, ok := base.Benchmarks[name]; ok {
+				e.MaxNsRatio = old.MaxNsRatio
+			}
+			base.Benchmarks[name] = e
 		}
 		buf, err := json.MarshalIndent(&base, "", "  ")
 		if err != nil {
@@ -156,6 +190,15 @@ func main() {
 		return
 	}
 
+	if check(base, measured, os.Stdout) > 0 {
+		os.Exit(1)
+	}
+}
+
+// check gates every pinned benchmark against the baseline — allocs/op
+// against its ceiling, ns/op against the loose ratio — writing one line
+// per benchmark, and returns the number of failures.
+func check(base baseline, measured map[string]measurement, w io.Writer) int {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -167,12 +210,12 @@ func main() {
 		want := base.Benchmarks[name]
 		got, ok := measured[name]
 		if !ok {
-			fmt.Printf("FAIL  %-36s not present in this run (renamed or deleted? re-pin with -update)\n", name)
+			fmt.Fprintf(w, "FAIL  %-36s not present in this run (renamed or deleted? re-pin with -update)\n", name)
 			failed++
 			continue
 		}
 		if !got.hasAllocs {
-			fmt.Printf("FAIL  %-36s run without -benchmem (no allocs/op reported)\n", name)
+			fmt.Fprintf(w, "FAIL  %-36s run without -benchmem (no allocs/op reported)\n", name)
 			failed++
 			continue
 		}
@@ -183,21 +226,31 @@ func main() {
 		}
 		speed := ""
 		if want.NsPerOp > 0 && got.nsPerOp > 0 {
-			speed = fmt.Sprintf("  (%.2fx baseline time, not gated)", got.nsPerOp/want.NsPerOp)
+			ratio, limit := got.nsPerOp/want.NsPerOp, nsRatioLimit(base, want)
+			verdict := "gated"
+			if ratio > limit {
+				verdict = "FAIL"
+				if status == "ok  " {
+					status = "FAIL"
+					failed++
+				}
+			}
+			speed = fmt.Sprintf("  (%.2fx baseline time, %s at %gx)", ratio, verdict, limit)
 		}
-		fmt.Printf("%s  %-36s %8d allocs/op  ceiling %8d%s\n",
+		fmt.Fprintf(w, "%s  %-36s %8d allocs/op  ceiling %8d%s\n",
 			status, name, got.allocsPerOp, want.MaxAllocsPerOp, speed)
 	}
 	for name, m := range measured {
 		if _, ok := base.Benchmarks[name]; !ok && m.hasAllocs {
-			fmt.Printf("note  %-36s %8d allocs/op  (unpinned; add with -update)\n", name, m.allocsPerOp)
+			fmt.Fprintf(w, "note  %-36s %8d allocs/op  (unpinned; add with -update)\n", name, m.allocsPerOp)
 		}
 	}
 	if failed > 0 {
-		fmt.Printf("benchguard: %d benchmark(s) regressed above the allocation ceiling\n", failed)
-		os.Exit(1)
+		fmt.Fprintf(w, "benchguard: %d benchmark(s) regressed above a pinned ceiling\n", failed)
+		return failed
 	}
-	fmt.Printf("benchguard: all %d pinned benchmarks within allocation ceilings\n", len(names))
+	fmt.Fprintf(w, "benchguard: all %d pinned benchmarks within allocation ceilings and time ratios\n", len(names))
+	return 0
 }
 
 func fatal(err error) {

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out, err := parseBench(strings.NewReader(`
+goos: linux
+BenchmarkFast-8    	     100	   1200000 ns/op	 4096 B/op	     120 allocs/op
+BenchmarkNoMem-8   	     100	   9000000 ns/op
+PASS
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, ok := out["BenchmarkFast"]
+	if !ok || fast.nsPerOp != 1200000 || fast.allocsPerOp != 120 || !fast.hasAllocs {
+		t.Fatalf("BenchmarkFast = %+v", fast)
+	}
+	if m := out["BenchmarkNoMem"]; m.hasAllocs {
+		t.Fatalf("BenchmarkNoMem should have no allocs: %+v", m)
+	}
+}
+
+// TestCheckGates covers both gates: the sharp allocation ceiling and the
+// loose wall-time ratio (file default 3x, per-entry override).
+func TestCheckGates(t *testing.T) {
+	base := baseline{Benchmarks: map[string]entry{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 100, MaxAllocsPerOp: 150},
+		"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 100, MaxAllocsPerOp: 150, MaxNsRatio: 10},
+	}}
+	measure := func(ns float64, allocs int64) measurement {
+		return measurement{nsPerOp: ns, allocsPerOp: allocs, hasAllocs: true}
+	}
+
+	cases := []struct {
+		name     string
+		measured map[string]measurement
+		failed   int
+		contains string
+	}{
+		{"all within", map[string]measurement{
+			"BenchmarkA": measure(2000, 120), "BenchmarkB": measure(9000, 120),
+		}, 0, "all 2 pinned benchmarks"},
+		{"alloc regression", map[string]measurement{
+			"BenchmarkA": measure(1000, 200), "BenchmarkB": measure(1000, 100),
+		}, 1, "FAIL"},
+		{"time regression past the default 3x", map[string]measurement{
+			"BenchmarkA": measure(4000, 100), "BenchmarkB": measure(1000, 100),
+		}, 1, "FAIL at 3x"},
+		{"override allows 10x for B", map[string]measurement{
+			"BenchmarkA": measure(1000, 100), "BenchmarkB": measure(9500, 100),
+		}, 0, "gated at 10x"},
+		{"override still gates past 10x", map[string]measurement{
+			"BenchmarkA": measure(1000, 100), "BenchmarkB": measure(15000, 100),
+		}, 1, "FAIL at 10x"},
+		{"missing benchmark", map[string]measurement{
+			"BenchmarkA": measure(1000, 100),
+		}, 1, "not present"},
+		{"double regression counts once per benchmark", map[string]measurement{
+			"BenchmarkA": measure(9000, 900), "BenchmarkB": measure(1000, 100),
+		}, 1, "FAIL"},
+	}
+	for _, c := range cases {
+		var b strings.Builder
+		if got := check(base, c.measured, &b); got != c.failed {
+			t.Errorf("%s: failed = %d, want %d\n%s", c.name, got, c.failed, b.String())
+		}
+		if !strings.Contains(b.String(), c.contains) {
+			t.Errorf("%s: output missing %q:\n%s", c.name, c.contains, b.String())
+		}
+	}
+
+	// A file-level default overrides the built-in 3x.
+	loose := base
+	loose.MaxNsRatio = 5
+	var b strings.Builder
+	if got := check(loose, map[string]measurement{
+		"BenchmarkA": measure(4000, 100), "BenchmarkB": measure(1000, 100),
+	}, &b); got != 0 {
+		t.Errorf("file-level 5x should pass a 4x run:\n%s", b.String())
+	}
+}

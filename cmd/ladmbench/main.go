@@ -8,10 +8,19 @@
 //	ladmbench -experiment fig4 -workloads vecadd,sq-gemm
 //	ladmbench -experiment all -store-dir ./results  # resumable campaign
 //	ladmbench -experiment fig9 -progress            # per-cell lines on stderr
+//	ladmbench -experiment fig10 -fidelity auto      # closed-form tier first
+//	ladmbench -experiment tiercheck                 # validate the analytic tier
 //
 // Experiments: table1 table2 table3 table4 fig4 fig9 fig10 fig11 hwvalid
-// oversub scaling
-// summary. Scale divides the paper's input sizes; -full forces scale 1.
+// oversub scaling summary tiercheck. Scale divides the paper's input
+// sizes; -full forces scale 1.
+//
+// -fidelity selects the serving tier for every sweep cell: "event" (the
+// default — the event engine, unchanged), "auto" (the closed-form
+// analytic model answers high-confidence cells and transparently
+// escalates the rest), or "analytic" (model-only; any cell outside the
+// model's domain fails the campaign). Cached results are keyed per
+// fidelity, so analytic answers never masquerade as event measurements.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"ladm/internal/analytic"
 	"ladm/internal/experiments"
 	"ladm/internal/kernels"
 	"ladm/internal/simsvc"
@@ -42,6 +52,8 @@ func main() {
 		"size cap for the durable store (0 = unlimited)")
 	progress := flag.Bool("progress", false,
 		"print a per-cell progress line to stderr as sweep cells complete")
+	fidelity := flag.String("fidelity", "event",
+		"serving tier for sweep cells: event, analytic (model-only), or auto (model with escalation)")
 	flag.Parse()
 
 	// One pool serves every experiment of the campaign, so queueing,
@@ -52,6 +64,23 @@ func main() {
 	o := experiments.Options{Scale: *scale, Workers: *workers, Runner: pool}
 	if *full {
 		o.Scale = 1
+	}
+
+	// cacheFidelity separates cached/stored cells by serving tier; ""
+	// keeps the default event tier on the existing v2 keys.
+	var cacheFidelity string
+	switch *fidelity {
+	case "", simsvc.FidelityEvent:
+	case simsvc.FidelityAnalytic, simsvc.FidelityAuto:
+		cacheFidelity = *fidelity
+		tr := &analytic.Runner{Scale: o.Scale, OnDecision: pool.Metrics().ObserveTierDecision}
+		if *fidelity == simsvc.FidelityAuto {
+			tr.Fallback = pool
+		}
+		o.Runner = tr
+	default:
+		fmt.Fprintf(os.Stderr, "ladmbench: unknown fidelity %q (valid: event, analytic, auto)\n", *fidelity)
+		os.Exit(1)
 	}
 
 	var store *simsvc.DiskStore
@@ -66,7 +95,10 @@ func main() {
 		} else {
 			cache := simsvc.NewCache(pool.Metrics())
 			cache.SetStore(store)
-			o.Runner = &simsvc.CachedRunner{Inner: pool, Cache: cache, Scale: o.Scale}
+			o.Runner = &simsvc.CachedRunner{
+				Inner: o.Runner, Cache: cache, Scale: o.Scale,
+				Fidelity: cacheFidelity, Spill: store,
+			}
 			st := store.Store.Stats()
 			fmt.Fprintf(os.Stderr, "ladmbench: result store %s: %d records, %d bytes\n",
 				*storeDir, st.Records, st.Bytes)
@@ -78,7 +110,8 @@ func main() {
 		cr, ok := o.Runner.(*simsvc.CachedRunner)
 		if !ok {
 			cr = &simsvc.CachedRunner{
-				Inner: pool, Cache: simsvc.NewCache(pool.Metrics()), Scale: o.Scale,
+				Inner: o.Runner, Cache: simsvc.NewCache(pool.Metrics()), Scale: o.Scale,
+				Fidelity: cacheFidelity,
 			}
 			o.Runner = cr
 		}

@@ -15,9 +15,14 @@
 //	POST /run      run one simulation
 //	               {"workload":"sq-gemm","policy":"ladm","machine":"hier","scale":6}
 //	               add "async":true for 202 + a job id to poll,
-//	               "telemetry":true for a sampled time series + trace
+//	               "telemetry":true for a sampled time series + trace,
+//	               "fidelity":"analytic"|"auto" to serve from the
+//	               closed-form locality tier (auto escalates jobs outside
+//	               the model's domain to the event engine; the record's
+//	               tier/confidence fields name who answered)
 //	POST /sweep    run a workload x policy x machine cross product
 //	               {"workloads":["vecadd"],"policies":["h-coda","ladm"]}
+//	               (also takes "fidelity", applied to every cell)
 //	GET  /jobs     every tracked job
 //	GET  /jobs/{id}
 //	GET  /jobs/{id}/telemetry  series/trace of a telemetry job (?view=csv|trace);

@@ -8,7 +8,14 @@
 //	ladmsim -workload pagerank -policy h-coda -arch monolithic -scale 4
 //	ladmsim -workload vecadd -json
 //	ladmsim -workload sq-gemm -series util.csv -trace trace.json
+//	ladmsim -workload sq-gemm -tier analytic
 //	ladmsim -list
+//
+// -tier selects the serving fidelity: "event" (default — the cycle-level
+// event engine), "analytic" (the closed-form locality model only; a job
+// outside the model's domain is an error), or "auto" (the model answers
+// high-confidence jobs and escalates the rest to the event engine). The
+// record names the tier that served it.
 //
 // Observability: -series FILE emits a simulated-time utilization/queue
 // series (CSV by extension, else JSON), -trace FILE emits a Chrome
@@ -27,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +42,7 @@ import (
 	"os"
 	"strings"
 
+	"ladm/internal/analytic"
 	"ladm/internal/arch"
 	"ladm/internal/core"
 	"ladm/internal/kernels"
@@ -42,6 +51,22 @@ import (
 	"ladm/internal/simtel"
 	"ladm/internal/stats"
 )
+
+// coreFallback runs escalated jobs on the in-process event engine — the
+// single-run analogue of the worker pool ladmserve hands the tier runner.
+type coreFallback struct{}
+
+func (coreFallback) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error) {
+	out := make([]*stats.Run, len(jobs))
+	for i, j := range jobs {
+		r, err := core.SimulateJob(j)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
 
 func main() {
 	workload := flag.String("workload", "vecadd", "workload name")
@@ -56,6 +81,8 @@ func main() {
 	sample := flag.Float64("sample", simtel.DefaultSampleEvery, "telemetry sampling interval in cycles")
 	telemetry := flag.Bool("telemetry", false, "sample the run and print its telemetry summary")
 	steal := flag.Bool("steal", false, "let idle nodes steal queued TBs from the deepest queue (experimental)")
+	tier := flag.String("tier", "event",
+		"serving tier: event, analytic (closed-form model only), or auto (model with escalation)")
 	flag.Parse()
 
 	if *list {
@@ -94,7 +121,20 @@ func main() {
 	}
 	tel := simtel.New(telCfg) // nil when nothing is enabled
 
-	run, err := core.SimulateJob(core.Job{Workload: spec.W, Arch: cfg, Policy: pol, Tel: tel})
+	job := core.Job{Workload: spec.W, Arch: cfg, Policy: pol, Tel: tel}
+	var run *stats.Run
+	switch *tier {
+	case "", simsvc.FidelityEvent:
+		run, err = core.SimulateJob(job)
+	case simsvc.FidelityAnalytic, simsvc.FidelityAuto:
+		tr := &analytic.Runner{Scale: *scale}
+		if *tier == simsvc.FidelityAuto {
+			tr.Fallback = coreFallback{}
+		}
+		run, err = tr.Exec(context.Background(), job)
+	default:
+		err = fmt.Errorf("unknown tier %q (valid: event, analytic, auto)", *tier)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -134,7 +174,11 @@ func main() {
 		return
 	}
 
-	fmt.Printf("%s on %s under %s (scale 1/%d)\n\n", run.Workload, run.Arch, run.Policy, *scale)
+	fmt.Printf("%s on %s under %s (scale 1/%d)\n", run.Workload, run.Arch, run.Policy, *scale)
+	if run.Tier != "" {
+		fmt.Printf("served by the %s tier (confidence: %s)\n", run.Tier, run.Confidence)
+	}
+	fmt.Println()
 	rows := [][]string{
 		{"cycles", stats.Fmt(run.Cycles)},
 		{"threadblocks", fmt.Sprintf("%d", run.TBs)},

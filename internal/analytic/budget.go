@@ -1,0 +1,75 @@
+package analytic
+
+import (
+	_ "embed"
+	"encoding/json"
+
+	"ladm/internal/stats"
+)
+
+// error_budget.json pins how far the closed-form model may drift from
+// the event engine on the regular registry subset. The tiercheck harness
+// (ladmbench -experiment tiercheck) and TestRegularSubsetWithinBudget
+// both enforce it; re-pin deliberately when the model or engine changes.
+//
+//go:embed error_budget.json
+var budgetJSON []byte
+
+type budgetFile struct {
+	Note string `json:"note"`
+	// DefaultMaxSplitError bounds |analytic - event| on both split
+	// metrics (off-node byte fraction and remote L2 sector share) for
+	// workloads without their own entry.
+	DefaultMaxSplitError float64 `json:"default_max_split_error"`
+	// MaxSplitError holds per-workload overrides.
+	MaxSplitError map[string]float64 `json:"max_split_error"`
+}
+
+var budget = func() budgetFile {
+	var b budgetFile
+	if err := json.Unmarshal(budgetJSON, &b); err != nil {
+		panic("analytic: bad error_budget.json: " + err.Error())
+	}
+	return b
+}()
+
+// ErrorBudget returns the pinned maximum split error for a workload.
+func ErrorBudget(workload string) float64 {
+	if v, ok := budget.MaxSplitError[workload]; ok {
+		return v
+	}
+	return budget.DefaultMaxSplitError
+}
+
+// RemoteShare returns the fraction of requester-side L2 sector traffic
+// that targeted remote data — the model's second validation metric,
+// complementing stats.Run.OffNodeFraction.
+func RemoteShare(r *stats.Run) float64 {
+	ll := r.L2[stats.LocalLocal].Sectors
+	lr := r.L2[stats.LocalRemote].Sectors
+	if ll+lr == 0 {
+		return 0
+	}
+	return float64(lr) / float64(ll+lr)
+}
+
+// SplitError returns the tiercheck error metric between a prediction and
+// an event-engine measurement: the larger of the absolute differences in
+// off-node byte fraction and remote L2 sector share. Absolute difference
+// of fractions, not relative error — both metrics live in [0,1] and a
+// relative error would blow up exactly where the split is most local.
+func SplitError(pred, event *stats.Run) float64 {
+	d1 := absF(pred.OffNodeFraction() - event.OffNodeFraction())
+	d2 := absF(RemoteShare(pred) - RemoteShare(event))
+	if d2 > d1 {
+		return d2
+	}
+	return d1
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

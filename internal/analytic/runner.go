@@ -1,0 +1,119 @@
+package analytic
+
+import (
+	"context"
+	"errors"
+
+	"ladm/internal/core"
+	"ladm/internal/kernels"
+	"ladm/internal/kir"
+	"ladm/internal/stats"
+)
+
+// Fallback executes the jobs the model cannot answer. simsvc's Pool and
+// Sequential runners satisfy it structurally; analytic stays below
+// simsvc in the import graph.
+type Fallback interface {
+	Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error)
+}
+
+// Runner is the two-tier oracle: high-confidence jobs are answered from
+// the closed-form model, everything else is escalated — transparently,
+// in one batch, preserving job order — to the Fallback event engine.
+// Results carry their serving tier in Run.Tier/Run.Confidence.
+type Runner struct {
+	// Fallback runs escalated jobs; a nil Fallback turns escalation into
+	// an error (model-only mode, used by validation harnesses).
+	Fallback Fallback
+	// Scale is the registry scale the jobs were built at. When positive,
+	// Assess verifies each workload against its registry build and
+	// escalates anything mutated or custom; non-positive skips the
+	// provenance check (the caller vouches for the workloads).
+	Scale int
+	// OnDecision, when set, observes every tier decision (metrics).
+	OnDecision func(tier, confidence string)
+}
+
+// Assess classifies one job: AssessJob's structural checks plus the
+// registry-provenance comparison when Scale is set. A workload that is
+// not byte-equal to its registry build at Scale — a custom kernel, a
+// mutated launch — always escalates: the model must never silently
+// answer for inputs it was not validated on.
+func (r *Runner) Assess(job core.Job) Decision {
+	if r.Scale > 0 {
+		if job.Workload == nil {
+			return escalate("no workload")
+		}
+		spec, err := kernels.ByName(job.Workload.Name, r.Scale)
+		if err != nil || !kir.Equal(spec.W, job.Workload) {
+			return escalate("workload %s is custom or mutated (no registry match at scale %d)",
+				job.Workload.Name, r.Scale)
+		}
+	}
+	return AssessJob(job)
+}
+
+// Sweep answers each job from the tier its assessment selects and
+// returns records in job order. Escalated jobs go to the Fallback as one
+// batch, so its own parallelism and queueing semantics apply unchanged.
+func (r *Runner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error) {
+	results := make([]*stats.Run, len(jobs))
+	var (
+		escJobs []core.Job
+		escIdx  []int
+	)
+	decide := func(tier, confidence string) {
+		if r.OnDecision != nil {
+			r.OnDecision(tier, confidence)
+		}
+	}
+	for i, job := range jobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		d := r.Assess(job)
+		if d.Confidence == ConfidenceHigh {
+			run, err := Predict(job)
+			if err == nil {
+				decide(TierAnalytic, ConfidenceHigh)
+				results[i] = run
+				continue
+			}
+			// A prediction failure inside the model's supposed domain is
+			// itself an escalation, not a sweep failure.
+			d = escalate("prediction failed: %v", err)
+		}
+		decide(TierEvent, d.Confidence)
+		escJobs = append(escJobs, job)
+		escIdx = append(escIdx, i)
+	}
+	if len(escJobs) > 0 {
+		if r.Fallback == nil {
+			return nil, errors.New("analytic: job escalated but no fallback runner configured")
+		}
+		rs, err := r.Fallback.Sweep(ctx, escJobs)
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range escIdx {
+			if run := rs[k]; run != nil {
+				// Fallback runs are fresh records (the pool simulates per
+				// job); tagging in place is safe and the tags ride into
+				// any cache or store entry keyed by this fidelity.
+				run.Tier = TierEvent
+				run.Confidence = ConfidenceEscalate
+				results[i] = run
+			}
+		}
+	}
+	return results, nil
+}
+
+// Exec answers a single job.
+func (r *Runner) Exec(ctx context.Context, job core.Job) (*stats.Run, error) {
+	rs, err := r.Sweep(ctx, []core.Job{job})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}

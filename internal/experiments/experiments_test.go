@@ -148,9 +148,44 @@ func TestHWValidShape(t *testing.T) {
 	}
 }
 
+// TestTiercheckSubset runs the tier-validation harness on a mixed
+// selection: two regular workloads the model must answer within budget,
+// one irregular workload it must escalate with a reason.
+func TestTiercheckSubset(t *testing.T) {
+	r, err := Tiercheck(fastOpts("vecadd", "sq-gemm", "lbm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["high-confidence"] != 2 || r.Values["escalated"] != 1 {
+		t.Errorf("tier split = %v high / %v escalated, want 2/1",
+			r.Values["high-confidence"], r.Values["escalated"])
+	}
+	if r.Values["violations"] != 0 {
+		t.Errorf("budget violations on the regular subset:\n%s", r.Text)
+	}
+	if !strings.Contains(r.Text, "within the pinned error budget") {
+		t.Errorf("success line (the CI grep target) missing:\n%s", r.Text)
+	}
+	if !strings.Contains(r.Text, "lbm") || !strings.Contains(r.Text, "data-dependent") {
+		t.Errorf("escalation table missing lbm's reason:\n%s", r.Text)
+	}
+	// A high-confidence-only selection must not print an escalation table.
+	r2, err := Tiercheck(fastOpts("vecadd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r2.Text, "Escalated") {
+		t.Errorf("empty escalation table rendered:\n%s", r2.Text)
+	}
+	// An all-irregular selection cannot validate anything.
+	if _, err := Tiercheck(fastOpts("lbm")); err == nil {
+		t.Error("tiercheck over only-escalated workloads should error")
+	}
+}
+
 func TestRunDispatch(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 12 {
+	if len(names) != 13 {
 		t.Errorf("experiment count = %d", len(names))
 	}
 	if _, err := Run("nope", Options{}); err == nil {

@@ -154,6 +154,8 @@ func Run(name string, o Options) (*Result, error) {
 		return Scaling(o)
 	case "summary":
 		return Summary(o)
+	case "tiercheck":
+		return Tiercheck(o)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			name, strings.Join(ExperimentNames(), ", "))
@@ -165,6 +167,6 @@ func ExperimentNames() []string {
 	return []string{
 		"table1", "table2", "table3", "table4",
 		"fig4", "fig9", "fig10", "fig11", "hwvalid", "oversub", "scaling",
-		"summary",
+		"summary", "tiercheck",
 	}
 }

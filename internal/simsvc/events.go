@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 )
 
@@ -97,14 +98,19 @@ func (h *eventHub) close() {
 	h.subs = nil
 }
 
-// subscribe returns a channel pre-loaded with the replay history. On a
-// closed hub the channel arrives already closed (after the history), so
-// the consume loop needs no special case.
-func (h *eventHub) subscribe() chan JobEvent {
+// subscribe returns a channel pre-loaded with the replay history after
+// the given cursor (0: the full history) — a reconnecting client passes
+// the last event id it saw and resumes where it left off. On a closed
+// hub the channel arrives already closed (after the replay), so the
+// consume loop needs no special case.
+func (h *eventHub) subscribe(after int64) chan JobEvent {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	ch := make(chan JobEvent, len(h.history)+subBuffer)
 	for _, ev := range h.history {
+		if ev.Seq <= after {
+			continue
+		}
 		ch <- ev
 	}
 	if h.closed {
@@ -131,6 +137,12 @@ func (h *eventHub) unsubscribe(ch chan JobEvent) {
 //	id: <seq>
 //	event: <type>
 //	data: <JobEvent JSON>
+//
+// A reconnecting client sends the standard Last-Event-ID header (every
+// SSE client library does this automatically with the last `id:` it
+// received); replay resumes after that cursor instead of repeating the
+// whole history. An unparsable cursor falls back to a full replay —
+// duplicates are safe, gaps are not.
 func streamEvents(w http.ResponseWriter, r *http.Request, hub *eventHub) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -138,12 +150,18 @@ func streamEvents(w http.ResponseWriter, r *http.Request, hub *eventHub) {
 			errors.New("event streaming needs a flushable connection"))
 		return
 	}
+	var after int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			after = n
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
-	ch := hub.subscribe()
+	ch := hub.subscribe(after)
 	defer hub.unsubscribe(ch)
 	for {
 		select {

@@ -1,0 +1,448 @@
+package simsvc
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ladm/internal/arch"
+	"ladm/internal/core"
+	"ladm/internal/kernels"
+	rt "ladm/internal/runtime"
+	"ladm/internal/simtel"
+	"ladm/internal/stats"
+)
+
+// TestFidelityKeySchema pins the dual hash layout: the default (event)
+// fidelity must keep producing the exact pre-tier v2 key — so every
+// cached result, stored record and golden stays valid — while each
+// fidelity tier hashes to its own key and the tiers can never collide.
+func TestFidelityKeySchema(t *testing.T) {
+	base := Request{Workload: "vecadd", Policy: "ladm", Machine: "hier", Scale: 8}
+
+	// The event-tier key is byte-identical to the v2 layout, recomputed
+	// here from first principles.
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%d\x00%t",
+		KeySchema, "vecadd", "ladm", "hier", 8, false)
+	var want JobKey
+	h.Sum(want[:0])
+	if got := base.Key(); got != want {
+		t.Fatalf("event-tier key %s drifted from the v2 layout %s", got, want)
+	}
+
+	// "event" is the same tier as the default and normalizes away.
+	explicit := base
+	explicit.Fidelity = FidelityEvent
+	if explicit.Key() != base.Key() {
+		t.Error(`fidelity "event" must hash identically to the default`)
+	}
+
+	// Each tier gets its own key; none collide with each other or with
+	// the event tier.
+	keys := map[JobKey]string{base.Key(): ""}
+	for _, f := range []string{FidelityAnalytic, FidelityAuto} {
+		r := base
+		r.Fidelity = f
+		k := r.Key()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("fidelity %q collides with %q", f, prev)
+		}
+		keys[k] = f
+	}
+
+	// Telemetry still separates keys within a tier.
+	tel := base
+	tel.Fidelity, tel.Telemetry = FidelityAuto, true
+	auto := base
+	auto.Fidelity = FidelityAuto
+	if tel.Key() == auto.Key() {
+		t.Error("telemetry must still change the key under a fidelity tier")
+	}
+}
+
+func TestFidelityResolveValidation(t *testing.T) {
+	bad := Request{Workload: "vecadd", Fidelity: "cycle-exact"}
+	if _, err := bad.Resolve(); err == nil || !strings.Contains(err.Error(), "fidelity") {
+		t.Fatalf("bad fidelity should fail with a fidelity error, got %v", err)
+	}
+	for _, f := range []string{"", FidelityEvent, FidelityAnalytic, FidelityAuto} {
+		if _, err := (Request{Workload: "vecadd", Fidelity: f}).Resolve(); err != nil {
+			t.Errorf("fidelity %q: %v", f, err)
+		}
+	}
+}
+
+// TestServerFidelityRouting drives the tier oracle over HTTP: analytic
+// answers a regular cell without touching the pool, auto escalates an
+// irregular cell into the pool, strict analytic fails on it, and the
+// tier counters land in /metrics. The pool's simulator is a fake, so a
+// record with its sentinel cycle count proves the event engine path ran.
+func TestServerFidelityRouting(t *testing.T) {
+	var calls atomic.Int64
+	ts, _ := newTestService(t, &calls)
+
+	// Regular workload, analytic tier: answered by the closed-form model.
+	resp, body := postJSON(t, ts.URL+"/run",
+		Request{Workload: "vecadd", Scale: 8, Fidelity: FidelityAnalytic})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analytic run: %d %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Run == nil || v.Run.Tier != "analytic" || v.Run.Confidence != "high" {
+		t.Fatalf("analytic record tagged %+v", v.Run)
+	}
+	if v.Request.Fidelity != FidelityAnalytic {
+		t.Errorf("request view lost its fidelity: %+v", v.Request)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("analytic answer consumed %d pool simulations, want 0", calls.Load())
+	}
+
+	// Irregular workload, auto tier: escalates into the pool.
+	resp, body = postJSON(t, ts.URL+"/run",
+		Request{Workload: "lbm", Scale: 8, Fidelity: FidelityAuto})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("auto run: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Run == nil || v.Run.Tier != "event" || v.Run.Confidence != "escalate" {
+		t.Fatalf("escalated record tagged %+v", v.Run)
+	}
+	if v.Run.Cycles != 12345 {
+		t.Errorf("escalated run did not come from the pool's simulator: %+v", v.Run)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("escalation ran %d pool simulations, want 1", calls.Load())
+	}
+
+	// Strict analytic on the same irregular cell: a clear failure, never
+	// a silent tier switch.
+	resp, body = postJSON(t, ts.URL+"/run",
+		Request{Workload: "lbm", Scale: 8, Fidelity: FidelityAnalytic})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("strict analytic on lbm: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusFailed || !strings.Contains(v.Error, "escalated") {
+		t.Errorf("strict analytic failure = %+v", v)
+	}
+
+	// Unknown fidelity is rejected up front.
+	resp, body = postJSON(t, ts.URL+"/run",
+		Request{Workload: "vecadd", Fidelity: "bogus"})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "fidelity") {
+		t.Errorf("bogus fidelity: %d %s", resp.StatusCode, body)
+	}
+
+	// Tier decisions surfaced in /metrics: one analytic answer, two
+	// escalation decisions (the served auto job and the failed strict one).
+	r, data := getBody(t, ts.URL+"/metrics")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", r.StatusCode)
+	}
+	for _, want := range []string{
+		`simsvc_tier_jobs_total{tier="analytic",confidence="high"} 1`,
+		`simsvc_tier_jobs_total{tier="event",confidence="escalate"} 2`,
+		"simsvc_tier_escalations_total 2",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerFidelityCacheSeparation: the same cell run under the event
+// tier and the analytic tier must produce two distinct jobs with
+// distinct keys — an analytic answer must never be served from (or
+// poison) the event-tier cache.
+func TestServerFidelityCacheSeparation(t *testing.T) {
+	var calls atomic.Int64
+	ts, _ := newTestService(t, &calls)
+
+	run := func(fidelity string) JobView {
+		t.Helper()
+		req := Request{Workload: "vecadd", Scale: 8, Fidelity: fidelity}
+		resp, body := postJSON(t, ts.URL+"/run", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %q: %d %s", fidelity, resp.StatusCode, body)
+		}
+		var v JobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	event := run("")
+	analytic := run(FidelityAnalytic)
+	if event.Key == analytic.Key {
+		t.Fatal("event and analytic jobs share a cache key")
+	}
+	if analytic.Cached {
+		t.Error("analytic run was served from the event-tier cache")
+	}
+	if event.Run.Tier != "" || analytic.Run.Tier != "analytic" {
+		t.Errorf("tier tags: event=%q analytic=%q", event.Run.Tier, analytic.Run.Tier)
+	}
+	// Re-running each tier hits its own entry.
+	if v := run(""); !v.Cached {
+		t.Error("event re-run missed its cache entry")
+	}
+	if v := run(FidelityAnalytic); !v.Cached {
+		t.Error("analytic re-run missed its cache entry")
+	}
+}
+
+// TestServerSweepFidelity: a sweep's fidelity applies to every cell and
+// rides into each cell's request and record tags.
+func TestServerSweepFidelity(t *testing.T) {
+	var calls atomic.Int64
+	ts, _ := newTestService(t, &calls)
+	resp, body := postJSON(t, ts.URL+"/sweep", map[string]any{
+		"workloads": []string{"vecadd", "lbm"},
+		"scale":     8,
+		"fidelity":  "auto",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sv SweepView
+	if err := json.Unmarshal(body, &sv); err != nil {
+		t.Fatal(err)
+	}
+	tiers := map[string]string{}
+	for _, jv := range sv.Jobs {
+		if jv.Request.Fidelity != FidelityAuto {
+			t.Errorf("cell %s lost its fidelity: %+v", jv.ID, jv.Request)
+		}
+		if jv.Run != nil {
+			tiers[jv.Request.Workload] = jv.Run.Tier
+		}
+	}
+	if tiers["vecadd"] != "analytic" || tiers["lbm"] != "event" {
+		t.Errorf("tier split = %v, want vecadd:analytic lbm:event", tiers)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("pool simulations = %d, want 1 (only the escalated cell)", calls.Load())
+	}
+
+	// A bad fidelity rejects the whole sweep before any cell runs.
+	resp, body = postJSON(t, ts.URL+"/sweep", map[string]any{
+		"workloads": []string{"vecadd"},
+		"fidelity":  "bogus",
+	})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "fidelity") {
+		t.Errorf("bogus sweep fidelity: %d %s", resp.StatusCode, body)
+	}
+}
+
+// readSSEResume reads one SSE stream sending a Last-Event-ID cursor and
+// returns the decoded events.
+func readSSEResume(t *testing.T, url, lastID string) []JobEvent {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("events: status = %d", r.StatusCode)
+	}
+	var events []JobEvent
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event payload %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// TestSSEResumeCursor: a reconnecting client that presents the standard
+// Last-Event-ID header resumes after its cursor instead of replaying the
+// whole history; a garbage cursor degrades to the full replay.
+func TestSSEResumeCursor(t *testing.T) {
+	var calls atomic.Int64
+	ts, _ := newTestService(t, &calls)
+	_, body := postJSON(t, ts.URL+"/run", Request{Workload: "vecadd", Scale: 8})
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	url := ts.URL + "/jobs/" + v.ID + "/events"
+
+	// First connection sees the whole lifecycle.
+	full := readSSEResume(t, url, "")
+	if len(full) != 3 {
+		t.Fatalf("full replay = %d events, want 3 (queued, running, done)", len(full))
+	}
+
+	// Reconnect presenting the second event's id: only the tail replays.
+	tail := readSSEResume(t, url, fmt.Sprintf("%d", full[1].Seq))
+	if len(tail) != 1 || tail[0].Seq != full[2].Seq || tail[0].Status != StatusDone {
+		t.Fatalf("resumed replay = %+v, want just the final event", tail)
+	}
+
+	// A cursor at the end replays nothing and the stream still ends.
+	if empty := readSSEResume(t, url, fmt.Sprintf("%d", full[2].Seq)); len(empty) != 0 {
+		t.Errorf("cursor-at-end replayed %d events, want 0", len(empty))
+	}
+
+	// Garbage cursors fall back to the full replay (duplicates are safe).
+	if again := readSSEResume(t, url, "not-a-number"); len(again) != 3 {
+		t.Errorf("garbage cursor replayed %d events, want full 3", len(again))
+	}
+
+	// Sweep streams honor the same header.
+	resp, body := postJSON(t, ts.URL+"/sweep", map[string]any{
+		"workloads": []string{"vecadd", "vecadd"},
+		"policies":  []string{"ladm", "h-coda"},
+		"scale":     8,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sv SweepView
+	if err := json.Unmarshal(body, &sv); err != nil {
+		t.Fatal(err)
+	}
+	swURL := ts.URL + "/sweeps/" + sv.ID + "/events"
+	all := readSSEResume(t, swURL, "")
+	if len(all) < 2 {
+		t.Fatalf("sweep replay = %d events", len(all))
+	}
+	tail = readSSEResume(t, swURL, fmt.Sprintf("%d", all[len(all)-2].Seq))
+	if len(tail) != 1 || tail[0].Seq != all[len(all)-1].Seq {
+		t.Errorf("sweep resume = %+v, want just the final event", tail)
+	}
+}
+
+// TestCachedRunnerSpillsSweepTelemetry: a sweep cell carrying a
+// collector spills its telemetry through the same simsvc-telemetry/v1
+// path as a POST /run job, keyed exactly as its server-side twin
+// (Telemetry: true), so ladmstore and GET /jobs/{key}/telemetry read a
+// campaign's cells back after the fact.
+func TestCachedRunnerSpillsSweepTelemetry(t *testing.T) {
+	const scale = 64
+	spec, err := kernels.ByName("vecadd", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := rt.ByName("ladm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := arch.ByName("hier")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds := testDiskStore(t, t.TempDir())
+	defer ds.Close()
+	inner := Sequential{Simulate: func(_ context.Context, j core.Job) (*stats.Run, error) {
+		run := &stats.Run{Workload: j.Workload.Name, Policy: j.Policy.Name, Cycles: 99}
+		if j.Tel != nil {
+			run.Telemetry = &stats.Telemetry{Samples: 1, SaturationCycle: -1}
+		}
+		return run, nil
+	}}
+	cr := &CachedRunner{Inner: inner, Cache: NewCache(nil), Scale: scale, Spill: ds}
+
+	tel := simtel.New(simtel.Config{SampleEvery: simtel.DefaultSampleEvery, Trace: true})
+	jobs := []core.Job{
+		{Workload: spec.W, Policy: pol, Arch: cfg},           // cacheable, no collector
+		{Workload: spec.W, Policy: pol, Arch: cfg, Tel: tel}, // telemetry cell
+	}
+	runs, err := cr.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0] == nil || runs[1] == nil || runs[1].Telemetry == nil {
+		t.Fatalf("sweep results incomplete: %+v", runs)
+	}
+
+	// The spill rides the write-behind queue; it must land under the key
+	// a POST /run {telemetry: true} job for the same cell would use.
+	key := Request{Workload: "vecadd", Policy: "ladm", Machine: "hier",
+		Scale: scale, Telemetry: true}.Key()
+	waitFor(t, func() bool { _, ok, _ := ds.GetTelemetry(key); return ok })
+	rec, ok, _ := ds.GetTelemetry(key)
+	if !ok || rec.Summary == nil || rec.Series == nil {
+		t.Fatalf("spilled record = %+v ok=%v", rec, ok)
+	}
+	if rec.Summary.Samples != 1 {
+		t.Errorf("spilled summary = %+v", rec.Summary)
+	}
+}
+
+// TestCachedRunnerFidelitySeparation: two campaigns over the same cells,
+// one event-tier and one analytic-tier, must never share cache entries.
+func TestCachedRunnerFidelitySeparation(t *testing.T) {
+	const scale = 64
+	spec, err := kernels.ByName("vecadd", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := rt.ByName("ladm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := arch.ByName("hier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := core.Job{Workload: spec.W, Policy: pol, Arch: cfg}
+
+	var calls atomic.Int64
+	inner := Sequential{Simulate: func(_ context.Context, j core.Job) (*stats.Run, error) {
+		calls.Add(1)
+		return &stats.Run{Workload: j.Workload.Name, Policy: j.Policy.Name}, nil
+	}}
+	cache := NewCache(nil)
+	event := &CachedRunner{Inner: inner, Cache: cache, Scale: scale}
+	auto := &CachedRunner{Inner: inner, Cache: cache, Scale: scale, Fidelity: FidelityAuto}
+
+	if _, err := event.Sweep(context.Background(), []core.Job{job}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := auto.Sweep(context.Background(), []core.Job{job}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("inner simulations = %d, want 2 (tiers must not share entries)", calls.Load())
+	}
+	// Same tier again: served from its own entry.
+	if _, err := auto.Sweep(context.Background(), []core.Job{job}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("auto re-sweep re-simulated (calls = %d)", calls.Load())
+	}
+}

@@ -26,6 +26,18 @@ import (
 // Scale unset, matching the fast-run default of the CLI tools.
 const DefaultScale = 6
 
+// Fidelity tiers a request can select. The default (empty or "event")
+// is the cycle-approximate event engine — the behavior every client had
+// before tiers existed. "analytic" demands the closed-form locality
+// model and fails when the job is outside its validated domain; "auto"
+// is the two-tier oracle: the model answers high-confidence jobs and
+// everything else escalates transparently to the event engine.
+const (
+	FidelityEvent    = "event"
+	FidelityAnalytic = "analytic"
+	FidelityAuto     = "auto"
+)
+
 // Request names one simulation as a pure value: a registered workload,
 // policy and machine plus the input scale divisor. Two requests with the
 // same normalized fields are the same job and share a JobKey.
@@ -42,9 +54,18 @@ type Request struct {
 	// sampled and unsampled runs cache separately because their records
 	// differ.
 	Telemetry bool `json:"telemetry,omitempty"`
+	// Fidelity selects the serving tier: "" or "event" (the event
+	// engine, the default), "analytic" (closed-form model only), or
+	// "auto" (model with transparent escalation). Part of the JobKey:
+	// an analytic answer and an event answer for the same cell are
+	// different records and must never collide in the cache or store.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // Normalize fills defaulted fields so that equal jobs hash equally.
+// "event" fidelity canonicalizes to "" — they are the same tier, and
+// the empty form keeps the key (and every persisted record) of a
+// pre-tier request byte-identical.
 func (r Request) Normalize() Request {
 	if r.Policy == "" {
 		r.Policy = "ladm"
@@ -54,6 +75,9 @@ func (r Request) Normalize() Request {
 	}
 	if r.Scale <= 0 {
 		r.Scale = DefaultScale
+	}
+	if r.Fidelity == FidelityEvent {
+		r.Fidelity = ""
 	}
 	return r
 }
@@ -91,12 +115,23 @@ const KeySchema = "simsvc/v2"
 // keySchema is the internal alias used by the hash itself.
 const keySchema = KeySchema
 
+// FidelityKeySchema is the hash layout of fidelity-carrying requests
+// (v3: Fidelity joined the hash). Event-tier requests keep hashing
+// under KeySchema so every pre-tier key, cache entry and stored record
+// stays byte-identical; only the new tiers pay the bump.
+const FidelityKeySchema = "simsvc/v3"
+
 // Key returns the request's content hash.
 func (r Request) Key() JobKey {
 	r = r.Normalize()
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%d\x00%t",
-		keySchema, r.Workload, r.Policy, r.Machine, r.Scale, r.Telemetry)
+	if r.Fidelity == "" {
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%d\x00%t",
+			keySchema, r.Workload, r.Policy, r.Machine, r.Scale, r.Telemetry)
+	} else {
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%d\x00%t\x00%s",
+			FidelityKeySchema, r.Workload, r.Policy, r.Machine, r.Scale, r.Telemetry, r.Fidelity)
+	}
 	var k JobKey
 	h.Sum(k[:0])
 	return k
@@ -107,6 +142,12 @@ func (r Request) Key() JobKey {
 // produce errors that list the valid options.
 func (r Request) Resolve() (core.Job, error) {
 	r = r.Normalize()
+	switch r.Fidelity {
+	case "", FidelityAnalytic, FidelityAuto:
+	default:
+		return core.Job{}, fmt.Errorf("unknown fidelity %q (valid: %s, %s, %s)",
+			r.Fidelity, FidelityEvent, FidelityAnalytic, FidelityAuto)
+	}
 	spec, err := kernels.ByName(r.Workload, r.Scale)
 	if err != nil {
 		return core.Job{}, err

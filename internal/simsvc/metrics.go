@@ -31,6 +31,9 @@ type Metrics struct {
 	eventsSubs       atomic.Int64 // live SSE subscribers (gauge)
 	eventsDropped    atomic.Int64 // events dropped on slow subscriber channels
 
+	tierAnalytic  atomic.Int64 // jobs answered by the closed-form model
+	tierEscalated atomic.Int64 // jobs escalated to the event engine
+
 	// peakLink holds the float64 bits of the highest peak inter-GPU
 	// link utilization any telemetry job has reported (gauge).
 	peakLink atomic.Uint64
@@ -70,6 +73,18 @@ func (m *Metrics) observeTelemetry(peakLinkUtil float64) {
 	}
 }
 
+// ObserveTierDecision records one fidelity-tier serving decision; it is
+// the shape of analytic.Runner's OnDecision hook. Any job the model
+// answers counts as analytic; everything the oracle hands to the event
+// engine counts as an escalation.
+func (m *Metrics) ObserveTierDecision(tier, confidence string) {
+	if tier == "analytic" {
+		m.tierAnalytic.Add(1)
+	} else {
+		m.tierEscalated.Add(1)
+	}
+}
+
 // Snapshot is a point-in-time copy of every metric, for tests and
 // programmatic consumers.
 type Snapshot struct {
@@ -77,6 +92,7 @@ type Snapshot struct {
 	QueueDepth, Workers                                     int64
 	Evicted, TelemetryJobs, Timeouts                        int64
 	TelemetrySpilled, EventsSubscribers, EventsDropped      int64
+	TierAnalytic, TierEscalated                             int64
 	PeakLinkUtil                                            float64
 	WallSeconds, WallMaxSeconds, SimCycles                  float64
 	// CyclesPerSecond is simulated cycles per wall-second of job
@@ -104,6 +120,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		TelemetrySpilled:  m.telemetrySpilled.Load(),
 		EventsSubscribers: m.eventsSubs.Load(),
 		EventsDropped:     m.eventsDropped.Load(),
+		TierAnalytic:      m.tierAnalytic.Load(),
+		TierEscalated:     m.tierEscalated.Load(),
 		PeakLinkUtil:   math.Float64frombits(m.peakLink.Load()),
 		WallSeconds:    wall,
 		WallMaxSeconds: wallMax,
@@ -138,6 +156,10 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	counter("simsvc_telemetry_jobs_total", "Jobs executed with telemetry collection.", float64(s.TelemetryJobs))
 	counter("simsvc_telemetry_spilled_total", "Telemetry records persisted to the durable store.", float64(s.TelemetrySpilled))
 	counter("simsvc_events_dropped_total", "Job events dropped on slow subscriber channels.", float64(s.EventsDropped))
+	fmt.Fprintf(w, "# HELP simsvc_tier_jobs_total Jobs by the fidelity tier that served them.\n# TYPE simsvc_tier_jobs_total counter\n")
+	fmt.Fprintf(w, "simsvc_tier_jobs_total{tier=\"analytic\",confidence=\"high\"} %d\n", s.TierAnalytic)
+	fmt.Fprintf(w, "simsvc_tier_jobs_total{tier=\"event\",confidence=\"escalate\"} %d\n", s.TierEscalated)
+	counter("simsvc_tier_escalations_total", "Jobs the analytic tier escalated to the event engine.", float64(s.TierEscalated))
 	gauge("simsvc_events_subscribers", "Live job-event stream subscribers.", float64(s.EventsSubscribers))
 	gauge("simsvc_queue_depth", "Jobs currently queued.", float64(s.QueueDepth))
 	gauge("simsvc_workers", "Worker goroutines in the pool.", float64(s.Workers))

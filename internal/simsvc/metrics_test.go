@@ -34,7 +34,7 @@ func TestPromExpositionParses(t *testing.T) {
 
 	helpRe := regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
 	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
-	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*) ([0-9eE+.-]+|NaN|[+-]Inf)$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? ([0-9eE+.-]+|NaN|[+-]Inf)$`)
 
 	var family string // most recent # TYPE name
 	var helped, typed string
@@ -88,6 +88,7 @@ func TestPromExpositionParses(t *testing.T) {
 		"simsvc_telemetry_peak_link_util", "simsvc_tracked_jobs",
 		"simsvc_telemetry_spilled_total", "simsvc_events_subscribers",
 		"simsvc_events_dropped_total",
+		"simsvc_tier_jobs_total", "simsvc_tier_escalations_total",
 	} {
 		if !families[want] {
 			t.Errorf("family %s missing from exposition", want)

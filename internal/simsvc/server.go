@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"ladm/internal/analytic"
 	"ladm/internal/kernels"
 	"ladm/internal/simtel"
 	"ladm/internal/stats"
@@ -99,8 +100,8 @@ func (sw *sweepRecord) tick(rec *jobRecord, status string, cached bool) {
 
 // Server exposes the pool, cache and metrics over HTTP:
 //
-//	POST /run      {workload, policy, machine, scale?, telemetry?, async?}
-//	POST /sweep    {workloads, policies?, machines?, scale?, async?}
+//	POST /run      {workload, policy, machine, scale?, telemetry?, fidelity?, async?}
+//	POST /sweep    {workloads, policies?, machines?, scale?, fidelity?, async?}
 //	GET  /jobs     all tracked jobs
 //	GET  /jobs/{id}
 //	GET  /jobs/{id}/telemetry  sampled series / Chrome trace (telemetry jobs)
@@ -412,8 +413,25 @@ func (s *Server) execute(ctx context.Context, rec *jobRecord) {
 		job.Tel = tel
 	}
 	s.setStatus(rec, StatusRunning)
+	exec := s.pool.Exec
+	if rec.req.Fidelity != "" {
+		// The fidelity tiers route through the two-tier oracle: the
+		// closed-form model answers what it can, and under "auto" the
+		// rest escalates transparently into the same pool (queueing,
+		// timeouts and panic isolation apply unchanged). "analytic" has
+		// no fallback — a job outside the model's domain fails rather
+		// than silently switching tiers.
+		tr := &analytic.Runner{
+			Scale:      rec.req.Scale,
+			OnDecision: s.pool.Metrics().ObserveTierDecision,
+		}
+		if rec.req.Fidelity == FidelityAuto {
+			tr.Fallback = s.pool
+		}
+		exec = tr.Exec
+	}
 	run, cached, err := s.cache.Do(ctx, rec.key, func() (*stats.Run, error) {
-		return s.pool.Exec(ctx, job)
+		return exec(ctx, job)
 	})
 	if tel != nil {
 		if cached {
@@ -546,7 +564,10 @@ type sweepRequest struct {
 	Policies  []string `json:"policies"`
 	Machines  []string `json:"machines"`
 	Scale     int      `json:"scale,omitempty"`
-	Async     bool     `json:"async,omitempty"`
+	// Fidelity applies to every cell: "event" (default), "analytic", or
+	// "auto" (see Request.Fidelity).
+	Fidelity string `json:"fidelity,omitempty"`
+	Async    bool   `json:"async,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -570,7 +591,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for _, wl := range req.Workloads {
 		for _, m := range req.Machines {
 			for _, p := range req.Policies {
-				cell := Request{Workload: wl, Policy: p, Machine: m, Scale: req.Scale}.Normalize()
+				cell := Request{Workload: wl, Policy: p, Machine: m, Scale: req.Scale, Fidelity: req.Fidelity}.Normalize()
 				if _, err := cell.Resolve(); err != nil {
 					writeError(w, http.StatusBadRequest, err)
 					return

@@ -99,13 +99,18 @@ func (d *DiskStore) GetRun(key JobKey) (*stats.Run, bool) {
 }
 
 // PutRun persists a completed record via the store's write-behind queue;
-// Close flushes anything still queued.
+// Close flushes anything still queued. The run's fidelity-tier tags are
+// mirrored into the envelope's provenance, so inspecting a store never
+// leaves it ambiguous whether the closed-form model or the event engine
+// produced a record.
 func (d *DiskStore) PutRun(key JobKey, run *stats.Run) {
 	payload, err := json.Marshal(run)
 	if err != nil {
 		return
 	}
-	d.Store.PutAsync(key.String(), payload, stats.NewProvenance(d.Tool))
+	prov := stats.NewProvenance(d.Tool)
+	prov.Tier, prov.Confidence = run.Tier, run.Confidence
+	d.Store.PutAsync(key.String(), payload, prov)
 }
 
 // PutTelemetry persists a telemetry record via the telemetry store's
@@ -223,6 +228,16 @@ type CachedRunner struct {
 	// Scale is the input-scale divisor the sweep's workloads were built
 	// at; it is part of every JobKey.
 	Scale int
+	// Fidelity names the serving tier Inner answers with ("" = event).
+	// It is part of every JobKey, so a campaign run through the analytic
+	// oracle can never collide with — or be served from — event-tier
+	// records of the same cells.
+	Fidelity string
+	// Spill, when non-nil, receives the telemetry of sweep cells that
+	// carry a collector, through the same simsvc-telemetry/v1 path as
+	// POST /run jobs: a -experiment campaign's cells become replayable
+	// in Perfetto via GET /jobs/{key}/telemetry or ladmstore.
+	Spill *DiskStore
 	// Progress, when set, is called once per finished cell with the
 	// completed count so far, the sweep's total, the cell's name and
 	// whether it was served from the cache. Calls are serialized but may
@@ -257,7 +272,12 @@ func (c *CachedRunner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run
 		if w == nil || !kir.Equal(w, job.Workload) {
 			return Request{}, false
 		}
-		return namedRequest(job, c.Scale)
+		req, ok := namedRequest(job, c.Scale)
+		if !ok {
+			return Request{}, false
+		}
+		req.Fidelity = c.Fidelity
+		return req.Normalize(), true
 	}
 
 	var (
@@ -329,6 +349,7 @@ func (c *CachedRunner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run
 				results[i] = rs[k]
 				tick(passJobs[k], false)
 			}
+			c.spillTelemetry(passJobs, rs)
 		}
 	}
 	wg.Wait()
@@ -336,4 +357,37 @@ func (c *CachedRunner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run
 		return nil, firstErr
 	}
 	return results, nil
+}
+
+// spillTelemetry persists the telemetry of registry-named cells that ran
+// with a collector, keyed exactly as their POST /run telemetry twin
+// would be, so GET /jobs/{key}/telemetry and ladmstore read a campaign's
+// cells back like any server-side telemetry job. Cells that cannot be
+// named (custom workloads, mutated machines) keep their collectors
+// in-memory only, as before.
+func (c *CachedRunner) spillTelemetry(jobs []core.Job, runs []*stats.Run) {
+	if c.Spill == nil {
+		return
+	}
+	for i, job := range jobs {
+		if job.Tel == nil || runs[i] == nil || job.Workload == nil {
+			continue
+		}
+		spec, err := kernels.ByName(job.Workload.Name, c.Scale)
+		if err != nil || !kir.Equal(spec.W, job.Workload) {
+			continue
+		}
+		req, ok := namedRequest(job, c.Scale)
+		if !ok {
+			continue
+		}
+		req.Telemetry = true
+		req.Fidelity = c.Fidelity
+		rec := &TelemetryRecord{
+			Summary: runs[i].Telemetry,
+			Series:  job.Tel.Series(),
+			Events:  job.Tel.AllEvents(),
+		}
+		c.Spill.PutTelemetry(req.Normalize().Key(), rec)
+	}
 }

@@ -110,6 +110,14 @@ type Run struct {
 	// TBs is the number of threadblocks executed.
 	TBs int `json:"tbs"`
 
+	// Tier names the fidelity tier that produced the record: empty for
+	// the event engine's default path (keeping pre-tier records and
+	// goldens byte-identical), "analytic" for the closed-form model,
+	// "event" for a job the analytic tier escalated. Confidence is the
+	// tier decision's confidence class ("high" or "escalate").
+	Tier       string `json:"tier,omitempty"`
+	Confidence string `json:"confidence,omitempty"`
+
 	// Telemetry summarizes the simulated-time series collected by
 	// internal/simtel; nil when the run was not sampled.
 	Telemetry *Telemetry `json:"telemetry,omitempty"`
@@ -167,6 +175,11 @@ type Provenance struct {
 	Host string `json:"host,omitempty"`
 	// CreatedUnix is the wall-clock time the record was persisted.
 	CreatedUnix int64 `json:"created_unix,omitempty"`
+	// Tier and Confidence mirror the run's fidelity-tier tags, so a
+	// stored record is never ambiguous about whether the closed-form
+	// model or the event engine produced it.
+	Tier       string `json:"tier,omitempty"`
+	Confidence string `json:"confidence,omitempty"`
 }
 
 // NewProvenance captures the current process's provenance for tool.

@@ -96,7 +96,7 @@ func TestFacadeSweep(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if got := len(ladm.ExperimentNames()); got != 12 {
+	if got := len(ladm.ExperimentNames()); got != 13 {
 		t.Errorf("experiments = %d", got)
 	}
 	r, err := ladm.Experiment("table2", ladm.ExperimentOptions{})
