@@ -10,6 +10,7 @@
 //	ladmbench -experiment fig9 -progress            # per-cell lines on stderr
 //	ladmbench -experiment fig10 -fidelity auto      # closed-form tier first
 //	ladmbench -experiment tiercheck                 # validate the analytic tier
+//	ladmbench -experiment fig9 -service-trace svc.json  # wall-clock worker trace
 //
 // Experiments: table1 table2 table3 table4 fig4 fig9 fig10 fig11 hwvalid
 // oversub scaling summary tiercheck. Scale divides the paper's input
@@ -36,6 +37,7 @@ import (
 	"ladm/internal/experiments"
 	"ladm/internal/kernels"
 	"ladm/internal/simsvc"
+	"ladm/internal/svcobs"
 )
 
 func main() {
@@ -54,11 +56,20 @@ func main() {
 		"print a per-cell progress line to stderr as sweep cells complete")
 	fidelity := flag.String("fidelity", "event",
 		"serving tier for sweep cells: event, analytic (model-only), or auto (model with escalation)")
+	serviceTrace := flag.String("service-trace", "",
+		"write a wall-clock Chrome/Perfetto trace of the campaign's pool activity (one track per worker, one span per job stage) to this file")
 	flag.Parse()
+
+	// With -service-trace the pool opens a wall-clock timeline per job;
+	// the spans land on per-worker tracks in the trace written at exit.
+	var obs *svcobs.Observer
+	if *serviceTrace != "" {
+		obs = svcobs.NewObserver(nil)
+	}
 
 	// One pool serves every experiment of the campaign, so queueing,
 	// backpressure and the metrics below span the whole run.
-	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: *workers})
+	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: *workers, Observer: obs})
 	defer pool.Close()
 
 	o := experiments.Options{Scale: *scale, Workers: *workers, Runner: pool}
@@ -165,6 +176,20 @@ func main() {
 		if store != nil {
 			simsvc.WriteStoreProm(os.Stdout, store.Store.Stats())
 		}
+	}
+	if obs != nil {
+		f, err := os.Create(*serviceTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ladmbench: service trace: %v\n", err)
+			os.Exit(1)
+		}
+		obs.Tracer.WriteTrace(f)
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ladmbench: service trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ladmbench: service trace: %d events -> %s\n",
+			obs.Tracer.Len(), *serviceTrace)
 	}
 }
 

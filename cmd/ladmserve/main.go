@@ -33,14 +33,25 @@
 //	GET  /sweeps/{id}          sweep progress snapshot
 //	GET  /sweeps/{id}/events   live sweep progress ticks (SSE)
 //	GET  /metrics  Prometheus text format
+//	GET  /statusz  operational snapshot: uptime, pool saturation, queue age,
+//	               in-flight jobs with their lifecycle stage, cache/store hit
+//	               rates, tier mix, slowest recent jobs (?format=html for a
+//	               human-readable page)
+//	GET  /debug/servicetrace  wall-clock service trace (Chrome/Perfetto):
+//	               one track per pool worker, one span per job stage
 //	GET  /debug/pprof/  host-side CPU/heap profiles (with -pprof)
+//
+// Every request carries a correlation ID: the server honors an incoming
+// X-Request-ID header (or mints one), echoes it on the response, and
+// stamps it on every structured log line the request produces — at the
+// edge, in the pool, in the tier oracle and in the store probes.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -49,6 +60,7 @@ import (
 	"time"
 
 	"ladm/internal/simsvc"
+	"ladm/internal/svcobs"
 )
 
 func main() {
@@ -70,11 +82,23 @@ func main() {
 		"on SIGTERM/SIGINT, wait this long for in-flight requests to finish")
 	maxBody := flag.Int64("max-body", simsvc.DefaultMaxBody,
 		"request body cap in bytes for POST endpoints")
+	logJSON := flag.Bool("log-json", false,
+		"emit structured logs as JSON lines (default: logfmt-style text)")
+	logDebug := flag.Bool("log-debug", false, "log at debug level")
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *logDebug {
+		level = slog.LevelDebug
+	}
+	logger := svcobs.NewLogger(os.Stderr, level, *logJSON)
+	obs := svcobs.NewObserver(logger)
+	logf := func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
 
 	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: *workers, QueueDepth: *queue})
 	defer pool.Close()
 	server := simsvc.NewServer(pool)
+	server.SetObserver(obs)
 	server.SetRetention(*retainJobs, *retainTTL)
 	server.SetJobTimeout(*jobTimeout)
 	server.SetMaxBody(*maxBody)
@@ -82,16 +106,16 @@ func main() {
 	var store *simsvc.DiskStore
 	if *storeDir != "" {
 		var err error
-		store, err = simsvc.NewDiskStore(*storeDir, *storeMax, "ladmserve", log.Printf)
+		store, err = simsvc.NewDiskStore(*storeDir, *storeMax, "ladmserve", logf)
 		if err != nil {
 			// Degrade, don't die: a service that cannot persist results is
 			// still a working service, just a slower one after restarts.
-			log.Printf("ladmserve: result store unavailable, running store-less: %v", err)
+			logger.Warn("ladmserve: result store unavailable, running store-less", "error", err.Error())
 		} else {
 			server.SetStore(store)
 			st := store.Store.Stats()
-			log.Printf("ladmserve: result store %s: %d records, %d bytes, healthy=%t",
-				*storeDir, st.Records, st.Bytes, st.Healthy)
+			logger.Info("ladmserve: result store attached", "dir", *storeDir,
+				"records", st.Records, "bytes", st.Bytes, "healthy", st.Healthy)
 		}
 	}
 
@@ -108,8 +132,11 @@ func main() {
 	}
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           logRequests(root),
+		Addr: *addr,
+		// The observability middleware owns the edge: request-ID
+		// minting/echo, the route/code latency histogram, and one
+		// structured access-log line per request.
+		Handler:           svcobs.Middleware(obs, simsvc.RouteLabel, root),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -118,19 +145,19 @@ func main() {
 	drained := make(chan struct{})
 	go func() {
 		<-stop
-		log.Printf("ladmserve: draining (up to %s) before shutdown", *drainTimeout)
+		logger.Info("ladmserve: draining before shutdown", "timeout", (*drainTimeout).String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		// Stop accepting, let in-flight requests finish (or hit the drain
 		// deadline), then tear down hard so nothing lingers.
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("ladmserve: drain incomplete: %v", err)
+			logger.Warn("ladmserve: drain incomplete", "error", err.Error())
 			httpSrv.Close()
 		}
 		close(drained)
 	}()
 
-	log.Printf("ladmserve: listening on %s (%d workers)", *addr, pool.Workers())
+	logger.Info("ladmserve: listening", "addr", *addr, "workers", pool.Workers())
 	err := httpSrv.ListenAndServe()
 	if err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "ladmserve:", err)
@@ -145,13 +172,5 @@ func main() {
 	if store != nil {
 		store.Close()
 	}
-	log.Println("ladmserve: shutdown complete")
-}
-
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
-	})
+	logger.Info("ladmserve: shutdown complete")
 }

@@ -47,10 +47,34 @@ type Decision struct {
 	Confidence string
 	// Reason says what forced an escalation; empty for high confidence.
 	Reason string
+	// Class is the bounded-cardinality form of Reason — one of the
+	// ReasonClass constants — safe to use as a metrics label where the
+	// free-text Reason (which names kernels and access sites) is not.
+	Class string
 }
 
-func escalate(format string, args ...any) Decision {
-	return Decision{Confidence: ConfidenceEscalate, Reason: fmt.Sprintf(format, args...)}
+// Reason classes an escalation can carry. One per escalate() site, so
+// simsvc_tier_escalations_total{reason} stays bounded no matter what
+// kernels flow through the service.
+const (
+	ReasonNoWorkload       = "no-workload"
+	ReasonCustomWorkload   = "custom-workload"
+	ReasonTelemetry        = "telemetry"
+	ReasonFirstTouch       = "first-touch"
+	ReasonStealing         = "stealing"
+	ReasonPaging           = "paging"
+	ReasonBlockTrips       = "block-trips"
+	ReasonDataDependent    = "data-dependent"
+	ReasonIntraThread      = "intra-thread"
+	ReasonUnclassified     = "unclassified"
+	ReasonPredicated       = "predicated"
+	ReasonNonAffine        = "non-affine"
+	ReasonPredictionFailed = "prediction-failed"
+)
+
+func escalate(class, format string, args ...any) Decision {
+	return Decision{Confidence: ConfidenceEscalate, Class: class,
+		Reason: fmt.Sprintf(format, args...)}
 }
 
 // AssessJob classifies a job's predictability from its structure alone:
@@ -59,20 +83,20 @@ func escalate(format string, args ...any) Decision {
 // provenance — Runner.Assess adds the registry comparison.
 func AssessJob(job core.Job) Decision {
 	if job.Workload == nil {
-		return escalate("no workload")
+		return escalate(ReasonNoWorkload, "no workload")
 	}
 	if job.Tel != nil {
-		return escalate("telemetry collection requires the event engine")
+		return escalate(ReasonTelemetry, "telemetry collection requires the event engine")
 	}
 	pol := job.Policy
 	if pol.Placement == rt.PlaceFirstTouch {
-		return escalate("first-touch placement is decided by execution order")
+		return escalate(ReasonFirstTouch, "first-touch placement is decided by execution order")
 	}
 	if pol.StealTBs {
-		return escalate("work stealing reassigns threadblocks at runtime")
+		return escalate(ReasonStealing, "work stealing reassigns threadblocks at runtime")
 	}
 	if job.Arch.MemCapacityPerNodeKB > 0 {
-		return escalate("oversubscription paging is timing-dependent")
+		return escalate(ReasonPaging, "oversubscription paging is timing-dependent")
 	}
 	seen := map[*kir.Kernel]bool{}
 	for _, l := range job.Workload.Launches {
@@ -82,24 +106,24 @@ func AssessJob(job core.Job) Decision {
 		}
 		seen[k] = true
 		if k.ItersForTB != nil {
-			return escalate("kernel %s has per-threadblock trip counts", k.Name)
+			return escalate(ReasonBlockTrips, "kernel %s has per-threadblock trip counts", k.Name)
 		}
 		for i := range k.Accesses {
 			acc := &k.Accesses[i]
 			cls := compiler.ClassifyAccess(k, i)
 			switch {
 			case cls.HasIndirect:
-				return escalate("kernel %s access %s[%d] is data-dependent (ITL/random)", k.Name, acc.Array, i)
+				return escalate(ReasonDataDependent, "kernel %s access %s[%d] is data-dependent (ITL/random)", k.Name, acc.Array, i)
 			case cls.Type == compiler.IntraThread:
-				return escalate("kernel %s access %s[%d] is intra-thread (Table II row 6)", k.Name, acc.Array, i)
+				return escalate(ReasonIntraThread, "kernel %s access %s[%d] is intra-thread (Table II row 6)", k.Name, acc.Array, i)
 			case cls.Type == compiler.Unclassified:
-				return escalate("kernel %s access %s[%d] is unclassified (Table II row 7)", k.Name, acc.Array, i)
+				return escalate(ReasonUnclassified, "kernel %s access %s[%d] is unclassified (Table II row 7)", k.Name, acc.Array, i)
 			}
 			if acc.Pred != nil {
-				return escalate("kernel %s access %s[%d] is predicated", k.Name, acc.Array, i)
+				return escalate(ReasonPredicated, "kernel %s access %s[%d] is predicated", k.Name, acc.Array, i)
 			}
 			if _, ok := compiler.AffineForAccess(k, i); !ok {
-				return escalate("kernel %s access %s[%d] has no affine form", k.Name, acc.Array, i)
+				return escalate(ReasonNonAffine, "kernel %s access %s[%d] has no affine form", k.Name, acc.Array, i)
 			}
 		}
 	}

@@ -30,8 +30,10 @@ type Runner struct {
 	// escalates anything mutated or custom; non-positive skips the
 	// provenance check (the caller vouches for the workloads).
 	Scale int
-	// OnDecision, when set, observes every tier decision (metrics).
-	OnDecision func(tier, confidence string)
+	// OnDecision, when set, observes every tier decision with its full
+	// assessment — confidence, the bounded reason class, and the
+	// free-text reason (metrics label the class, logs carry the text).
+	OnDecision func(tier string, d Decision)
 }
 
 // Assess classifies one job: AssessJob's structural checks plus the
@@ -42,11 +44,12 @@ type Runner struct {
 func (r *Runner) Assess(job core.Job) Decision {
 	if r.Scale > 0 {
 		if job.Workload == nil {
-			return escalate("no workload")
+			return escalate(ReasonNoWorkload, "no workload")
 		}
 		spec, err := kernels.ByName(job.Workload.Name, r.Scale)
 		if err != nil || !kir.Equal(spec.W, job.Workload) {
-			return escalate("workload %s is custom or mutated (no registry match at scale %d)",
+			return escalate(ReasonCustomWorkload,
+				"workload %s is custom or mutated (no registry match at scale %d)",
 				job.Workload.Name, r.Scale)
 		}
 	}
@@ -62,9 +65,9 @@ func (r *Runner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, erro
 		escJobs []core.Job
 		escIdx  []int
 	)
-	decide := func(tier, confidence string) {
+	decide := func(tier string, d Decision) {
 		if r.OnDecision != nil {
-			r.OnDecision(tier, confidence)
+			r.OnDecision(tier, d)
 		}
 	}
 	for i, job := range jobs {
@@ -75,15 +78,15 @@ func (r *Runner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, erro
 		if d.Confidence == ConfidenceHigh {
 			run, err := Predict(job)
 			if err == nil {
-				decide(TierAnalytic, ConfidenceHigh)
+				decide(TierAnalytic, d)
 				results[i] = run
 				continue
 			}
 			// A prediction failure inside the model's supposed domain is
 			// itself an escalation, not a sweep failure.
-			d = escalate("prediction failed: %v", err)
+			d = escalate(ReasonPredictionFailed, "prediction failed: %v", err)
 		}
-		decide(TierEvent, d.Confidence)
+		decide(TierEvent, d)
 		escJobs = append(escJobs, job)
 		escIdx = append(escIdx, i)
 	}

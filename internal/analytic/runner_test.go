@@ -32,11 +32,16 @@ func TestRunnerSweepSplitsTiers(t *testing.T) {
 		testJob(t, "spmv-jds", testScale), // per-block trip counts: escalates
 	}
 	fb := &fakeFallback{}
-	var decisions []string
+	var decisions, classes []string
 	r := &Runner{
-		Fallback:   fb,
-		Scale:      testScale,
-		OnDecision: func(tier, conf string) { decisions = append(decisions, tier+"/"+conf) },
+		Fallback: fb,
+		Scale:    testScale,
+		OnDecision: func(tier string, d Decision) {
+			decisions = append(decisions, tier+"/"+d.Confidence)
+			if d.Confidence == ConfidenceEscalate {
+				classes = append(classes, d.Class)
+			}
+		},
 	}
 	runs, err := r.Sweep(context.Background(), jobs)
 	if err != nil {
@@ -74,6 +79,17 @@ func TestRunnerSweepSplitsTiers(t *testing.T) {
 	for i := range want {
 		if decisions[i] != want[i] {
 			t.Errorf("decision %d = %s, want %s", i, decisions[i], want[i])
+		}
+	}
+	// Every escalation carries a bounded reason class for the metrics
+	// label (lbm is data-dependent, spmv-jds has per-block trip counts).
+	wantClasses := []string{ReasonDataDependent, ReasonBlockTrips}
+	if len(classes) != len(wantClasses) {
+		t.Fatalf("got %d escalation classes %v, want %d", len(classes), classes, len(wantClasses))
+	}
+	for i := range wantClasses {
+		if classes[i] != wantClasses[i] {
+			t.Errorf("escalation class %d = %q, want %q", i, classes[i], wantClasses[i])
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ladm/internal/stats"
+	"ladm/internal/svcobs"
 )
 
 // RunStore is the second-level result cache behind the in-memory map: a
@@ -105,6 +106,8 @@ func (c *Cache) Len() int {
 // happens inside the single flight, so one restart-warm key costs one
 // disk read no matter how many callers race on it.
 func (c *Cache) Do(ctx context.Context, key JobKey, fn func() (*stats.Run, error)) (run *stats.Run, cached bool, err error) {
+	tl := svcobs.TimelineFrom(ctx)
+	tl.Mark(svcobs.StageCache)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
@@ -116,6 +119,8 @@ func (c *Cache) Do(ctx context.Context, key JobKey, fn func() (*stats.Run, error
 				return nil, false, e.err
 			}
 			c.metrics.cached.Add(1)
+			svcobs.Log(ctx).InfoContext(ctx, "simsvc: cache hit",
+				"key", key.String(), "source", "memory")
 			return e.run, true, nil
 		case <-ctx.Done():
 			return nil, false, ctx.Err()
@@ -127,12 +132,17 @@ func (c *Cache) Do(ctx context.Context, key JobKey, fn func() (*stats.Run, error
 	c.mu.Unlock()
 
 	if store != nil {
+		tl.Mark(svcobs.StageStore)
 		if run, ok := store.GetRun(key); ok {
 			e.run = run
 			close(e.done)
 			c.metrics.cached.Add(1)
+			svcobs.Log(ctx).InfoContext(ctx, "simsvc: cache hit",
+				"key", key.String(), "source", "store")
 			return run, true, nil
 		}
+		svcobs.Log(ctx).InfoContext(ctx, "simsvc: store probe miss",
+			"key", key.String())
 	}
 
 	e.run, e.err = fn()

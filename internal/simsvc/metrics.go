@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ladm/internal/analytic"
 	"ladm/internal/simstore"
+	"ladm/internal/svcobs"
 )
 
 // Metrics aggregates the pool's and cache's observability counters. All
@@ -38,19 +41,30 @@ type Metrics struct {
 	// link utilization any telemetry job has reported (gauge).
 	peakLink atomic.Uint64
 
-	mu        sync.Mutex
-	wallSecs  float64 // summed per-job wall time
-	wallMax   float64 // longest single job
-	simCycles float64 // summed simulated cycles of completed jobs
+	// wall is the per-job wall-time distribution, exposed as the
+	// simsvc_job_wall_seconds histogram (its _sum/_count series carry
+	// the names the old hand-rolled summary used, so dashboards built
+	// on rate(sum)/rate(count) survive the upgrade unchanged).
+	wall *svcobs.Histogram
+
+	mu          sync.Mutex
+	wallMax     float64 // longest single job
+	simCycles   float64 // summed simulated cycles of completed jobs
+	tierReasons map[string]int64
 }
 
 // NewMetrics returns an empty metrics set.
-func NewMetrics() *Metrics { return &Metrics{} }
+func NewMetrics() *Metrics {
+	return &Metrics{
+		wall:        svcobs.NewHistogram(nil),
+		tierReasons: map[string]int64{},
+	}
+}
 
 func (m *Metrics) jobDone(wall time.Duration, cycles float64) {
 	secs := wall.Seconds()
+	m.wall.Observe(secs)
 	m.mu.Lock()
-	m.wallSecs += secs
 	if secs > m.wallMax {
 		m.wallMax = secs
 	}
@@ -76,13 +90,21 @@ func (m *Metrics) observeTelemetry(peakLinkUtil float64) {
 // ObserveTierDecision records one fidelity-tier serving decision; it is
 // the shape of analytic.Runner's OnDecision hook. Any job the model
 // answers counts as analytic; everything the oracle hands to the event
-// engine counts as an escalation.
-func (m *Metrics) ObserveTierDecision(tier, confidence string) {
-	if tier == "analytic" {
+// engine counts as an escalation, labeled by its bounded reason class
+// in simsvc_tier_escalations_total{reason}.
+func (m *Metrics) ObserveTierDecision(tier string, d analytic.Decision) {
+	if tier == analytic.TierAnalytic {
 		m.tierAnalytic.Add(1)
-	} else {
-		m.tierEscalated.Add(1)
+		return
 	}
+	m.tierEscalated.Add(1)
+	reason := d.Class
+	if reason == "" {
+		reason = "unknown"
+	}
+	m.mu.Lock()
+	m.tierReasons[reason]++
+	m.mu.Unlock()
 }
 
 // Snapshot is a point-in-time copy of every metric, for tests and
@@ -93,8 +115,13 @@ type Snapshot struct {
 	Evicted, TelemetryJobs, Timeouts                        int64
 	TelemetrySpilled, EventsSubscribers, EventsDropped      int64
 	TierAnalytic, TierEscalated                             int64
-	PeakLinkUtil                                            float64
-	WallSeconds, WallMaxSeconds, SimCycles                  float64
+	// TierReasons counts escalations by bounded reason class.
+	TierReasons                            map[string]int64
+	PeakLinkUtil                           float64
+	WallSeconds, WallMaxSeconds, SimCycles float64
+	// WallCount is the number of finished jobs the wall-time histogram
+	// has observed.
+	WallCount int64
 	// CyclesPerSecond is simulated cycles per wall-second of job
 	// execution (0 until a job completes).
 	CyclesPerSecond float64
@@ -102,30 +129,37 @@ type Snapshot struct {
 
 // Snapshot returns the current values.
 func (m *Metrics) Snapshot() Snapshot {
+	wall, wallCount := m.wall.Sum(), m.wall.Count()
 	m.mu.Lock()
-	wall, wallMax, cycles := m.wallSecs, m.wallMax, m.simCycles
+	wallMax, cycles := m.wallMax, m.simCycles
+	reasons := make(map[string]int64, len(m.tierReasons))
+	for k, v := range m.tierReasons {
+		reasons[k] = v
+	}
 	m.mu.Unlock()
 	s := Snapshot{
-		Submitted:      m.submitted.Load(),
-		Started:        m.started.Load(),
-		Completed:      m.completed.Load(),
-		Failed:         m.failed.Load(),
-		Canceled:       m.canceled.Load(),
-		Cached:         m.cached.Load(),
-		QueueDepth:     m.depth.Load(),
-		Workers:        m.workers.Load(),
-		Evicted:        m.evicted.Load(),
-		TelemetryJobs:  m.telemetry.Load(),
-		Timeouts:       m.timeouts.Load(),
+		Submitted:         m.submitted.Load(),
+		Started:           m.started.Load(),
+		Completed:         m.completed.Load(),
+		Failed:            m.failed.Load(),
+		Canceled:          m.canceled.Load(),
+		Cached:            m.cached.Load(),
+		QueueDepth:        m.depth.Load(),
+		Workers:           m.workers.Load(),
+		Evicted:           m.evicted.Load(),
+		TelemetryJobs:     m.telemetry.Load(),
+		Timeouts:          m.timeouts.Load(),
 		TelemetrySpilled:  m.telemetrySpilled.Load(),
 		EventsSubscribers: m.eventsSubs.Load(),
 		EventsDropped:     m.eventsDropped.Load(),
 		TierAnalytic:      m.tierAnalytic.Load(),
 		TierEscalated:     m.tierEscalated.Load(),
-		PeakLinkUtil:   math.Float64frombits(m.peakLink.Load()),
-		WallSeconds:    wall,
-		WallMaxSeconds: wallMax,
-		SimCycles:      cycles,
+		TierReasons:       reasons,
+		PeakLinkUtil:      math.Float64frombits(m.peakLink.Load()),
+		WallSeconds:       wall,
+		WallMaxSeconds:    wallMax,
+		WallCount:         wallCount,
+		SimCycles:         cycles,
 	}
 	if wall > 0 {
 		s.CyclesPerSecond = cycles / wall
@@ -159,14 +193,27 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "# HELP simsvc_tier_jobs_total Jobs by the fidelity tier that served them.\n# TYPE simsvc_tier_jobs_total counter\n")
 	fmt.Fprintf(w, "simsvc_tier_jobs_total{tier=\"analytic\",confidence=\"high\"} %d\n", s.TierAnalytic)
 	fmt.Fprintf(w, "simsvc_tier_jobs_total{tier=\"event\",confidence=\"escalate\"} %d\n", s.TierEscalated)
-	counter("simsvc_tier_escalations_total", "Jobs the analytic tier escalated to the event engine.", float64(s.TierEscalated))
+	// Escalations are labeled by their bounded reason class — the
+	// diagnostic ROADMAP item 5 asks for — alongside the unlabeled
+	// total every existing dashboard already scrapes.
+	fmt.Fprintf(w, "# HELP simsvc_tier_escalations_total Jobs the analytic tier escalated to the event engine.\n# TYPE simsvc_tier_escalations_total counter\n")
+	fmt.Fprintf(w, "simsvc_tier_escalations_total %d\n", s.TierEscalated)
+	reasons := make([]string, 0, len(s.TierReasons))
+	for r := range s.TierReasons {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(w, "simsvc_tier_escalations_total{reason=%q} %d\n", r, s.TierReasons[r])
+	}
 	gauge("simsvc_events_subscribers", "Live job-event stream subscribers.", float64(s.EventsSubscribers))
 	gauge("simsvc_queue_depth", "Jobs currently queued.", float64(s.QueueDepth))
 	gauge("simsvc_workers", "Worker goroutines in the pool.", float64(s.Workers))
 	gauge("simsvc_telemetry_peak_link_util", "Highest peak inter-GPU link utilization any telemetry job reported.", s.PeakLinkUtil)
-	fmt.Fprintf(w, "# HELP simsvc_job_wall_seconds Per-job wall time.\n# TYPE simsvc_job_wall_seconds summary\n")
-	fmt.Fprintf(w, "simsvc_job_wall_seconds_sum %g\n", s.WallSeconds)
-	fmt.Fprintf(w, "simsvc_job_wall_seconds_count %d\n", s.Started)
+	// A real histogram since the service-plane observability PR; the
+	// _sum/_count series keep the names of the old hand-rolled summary
+	// so existing dashboards survive.
+	m.wall.WriteProm(w, "simsvc_job_wall_seconds", "Per-job wall time.")
 	gauge("simsvc_job_wall_seconds_max", "Longest single job.", s.WallMaxSeconds)
 	counter("simsvc_simulated_cycles_total", "Simulated GPU cycles across completed jobs.", s.SimCycles)
 	gauge("simsvc_simulated_cycles_per_second", "Simulated cycles per wall-second of execution.", s.CyclesPerSecond)

@@ -74,6 +74,10 @@ func TestPromExpositionParses(t *testing.T) {
 			if typed == "summary" && (name == family+"_sum" || name == family+"_count") {
 				ok = true
 			}
+			if typed == "histogram" && (name == family+"_bucket" ||
+				name == family+"_sum" || name == family+"_count") {
+				ok = true
+			}
 			if !ok {
 				t.Errorf("line %d: sample %s outside its family %s", i+1, name, family)
 			}
@@ -192,7 +196,7 @@ func TestQueueDepthReturnsToZeroAfterDrain(t *testing.T) {
 	done := make(chan struct{})
 	const jobs = 4
 	for i := 0; i < jobs; i++ {
-		rec := srv.register(Request{Workload: "vecadd", Scale: 8 + i}.Normalize())
+		rec := srv.register(context.Background(), Request{Workload: "vecadd", Scale: 8 + i}.Normalize())
 		go func() {
 			srv.execute(context.Background(), rec)
 			done <- struct{}{}

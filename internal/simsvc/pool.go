@@ -10,6 +10,7 @@ import (
 
 	"ladm/internal/core"
 	"ladm/internal/stats"
+	"ladm/internal/svcobs"
 )
 
 var (
@@ -43,6 +44,12 @@ type PoolConfig struct {
 	Simulate SimulateFunc
 	// Metrics receives the pool's counters (nil: a fresh set).
 	Metrics *Metrics
+	// Observer, when set, gives every job submitted without a timeline
+	// in its context a standalone wall-clock timeline (queue wait +
+	// compute), so CLI campaigns get stage histograms and a service
+	// trace without an HTTP edge. Jobs that already carry a timeline
+	// (the server's) are marked on that one instead.
+	Observer *svcobs.Observer
 }
 
 // Pool is a fixed-size worker pool executing simulation jobs from a
@@ -51,6 +58,7 @@ type PoolConfig struct {
 type Pool struct {
 	simulate SimulateFunc
 	metrics  *Metrics
+	obs      *svcobs.Observer
 	queue    chan *Task
 	done     chan struct{}
 	wg       sync.WaitGroup
@@ -66,6 +74,10 @@ type Task struct {
 	done chan struct{}
 	run  *stats.Run
 	err  error
+	// tl is the job's wall-clock timeline (nil when unobserved); ownTL
+	// marks a pool-created timeline the task must finish itself.
+	tl    *svcobs.Timeline
+	ownTL bool
 }
 
 // Done is closed when the task has finished (successfully or not).
@@ -103,6 +115,7 @@ func NewPool(cfg PoolConfig) *Pool {
 	p := &Pool{
 		simulate: sim,
 		metrics:  m,
+		obs:      cfg.Observer,
 		queue:    make(chan *Task, depth),
 		done:     make(chan struct{}),
 		workers:  workers,
@@ -110,7 +123,7 @@ func NewPool(cfg PoolConfig) *Pool {
 	m.workers.Store(int64(workers))
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go p.worker()
+		go p.worker(i)
 	}
 	return p
 }
@@ -120,6 +133,9 @@ func (p *Pool) Metrics() *Metrics { return p.metrics }
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
+
+// QueueCap returns the bounded queue's capacity (for saturation views).
+func (p *Pool) QueueCap() int { return cap(p.queue) }
 
 // Close stops the workers. Jobs still queued fail with ErrPoolClosed;
 // jobs already executing run to completion. Close blocks until every
@@ -140,7 +156,7 @@ func (p *Pool) Close() {
 	}
 }
 
-func (p *Pool) worker() {
+func (p *Pool) worker(id int) {
 	defer p.wg.Done()
 	for {
 		select {
@@ -157,18 +173,44 @@ func (p *Pool) worker() {
 			}
 		case t := <-p.queue:
 			p.metrics.depth.Add(-1)
-			p.exec(t)
+			p.exec(t, id)
 		}
 	}
 }
 
 func (t *Task) finish(run *stats.Run, err error) {
+	// A pool-created timeline ends with the task; a context timeline
+	// (the server's) keeps running through spill and respond.
+	if t.ownTL {
+		if run != nil {
+			t.tl.SetTier(run.Tier)
+		}
+		t.tl.Finish()
+	}
 	t.run, t.err = run, err
 	close(t.done)
 }
 
-// exec runs one task with panic isolation.
-func (p *Pool) exec(t *Task) {
+// noteQueued attaches the job's wall-clock timeline — the context's, or
+// a pool-owned one when an Observer is configured — and opens its
+// queue-wait stage. Call just before enqueueing.
+func (p *Pool) noteQueued(ctx context.Context, t *Task) {
+	t.tl = svcobs.TimelineFrom(ctx)
+	if t.tl == nil && p.obs != nil {
+		name := "job"
+		if t.Job.Label != "" {
+			name = t.Job.Label
+		} else if t.Job.Workload != nil {
+			name = t.Job.Workload.Name + "/" + t.Job.Policy.Name
+		}
+		t.tl = p.obs.StartTimeline(name, svcobs.RequestIDFrom(ctx))
+		t.ownTL = true
+	}
+	t.tl.Mark(svcobs.StageQueue)
+}
+
+// exec runs one task with panic isolation on worker `id`.
+func (p *Pool) exec(t *Task, id int) {
 	if err := t.ctx.Err(); err != nil {
 		// Canceled while queued: never start the simulation.
 		p.metrics.canceled.Add(1)
@@ -179,6 +221,14 @@ func (p *Pool) exec(t *Task) {
 		return
 	}
 	p.metrics.started.Add(1)
+	t.tl.SetWorker(id)
+	t.tl.Mark(svcobs.StageCompute)
+	name := "?"
+	if t.Job.Workload != nil {
+		name = t.Job.Workload.Name
+	}
+	svcobs.Log(t.ctx).InfoContext(t.ctx, "simsvc: job executing",
+		"workload", name, "policy", t.Job.Policy.Name, "worker", id)
 	start := time.Now()
 	run, err := p.runIsolated(t)
 	wall := time.Since(start)
@@ -188,9 +238,15 @@ func (p *Pool) exec(t *Task) {
 			p.metrics.timeouts.Add(1)
 		}
 		p.metrics.jobDone(wall, 0)
+		svcobs.Log(t.ctx).ErrorContext(t.ctx, "simsvc: job failed",
+			"workload", name, "policy", t.Job.Policy.Name, "worker", id,
+			"wall", wall, "error", err)
 	} else {
 		p.metrics.completed.Add(1)
 		p.metrics.jobDone(wall, run.Cycles)
+		svcobs.Log(t.ctx).InfoContext(t.ctx, "simsvc: job simulated",
+			"workload", name, "policy", t.Job.Policy.Name, "worker", id,
+			"wall", wall, "cycles", run.Cycles)
 	}
 	t.finish(run, err)
 }
@@ -223,12 +279,16 @@ func (p *Pool) Submit(ctx context.Context, job core.Job) (*Task, error) {
 		return nil, ErrPoolClosed
 	default:
 	}
+	p.noteQueued(ctx, t)
 	select {
 	case p.queue <- t:
 		p.metrics.submitted.Add(1)
 		p.metrics.depth.Add(1)
 		return t, nil
 	default:
+		if t.ownTL {
+			t.tl.Finish()
+		}
 		return nil, ErrQueueFull
 	}
 }
@@ -246,13 +306,20 @@ func (p *Pool) Exec(ctx context.Context, job core.Job) (*stats.Run, error) {
 		return nil, ErrPoolClosed
 	default:
 	}
+	p.noteQueued(ctx, t)
 	select {
 	case p.queue <- t:
 		p.metrics.submitted.Add(1)
 		p.metrics.depth.Add(1)
 	case <-p.done:
+		if t.ownTL {
+			t.tl.Finish()
+		}
 		return nil, ErrPoolClosed
 	case <-ctx.Done():
+		if t.ownTL {
+			t.tl.Finish()
+		}
 		return nil, ctx.Err()
 	}
 	select {
@@ -279,6 +346,7 @@ func (p *Pool) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error)
 		if submitErr != nil {
 			break
 		}
+		p.noteQueued(ctx, t)
 		select {
 		case p.queue <- t:
 			p.metrics.submitted.Add(1)
@@ -288,6 +356,9 @@ func (p *Pool) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error)
 			submitErr = ErrPoolClosed
 		case <-ctx.Done():
 			submitErr = ctx.Err()
+		}
+		if submitErr != nil && t.ownTL {
+			t.tl.Finish()
 		}
 		if submitErr != nil {
 			break

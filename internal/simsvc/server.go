@@ -15,6 +15,7 @@ import (
 	"ladm/internal/kernels"
 	"ladm/internal/simtel"
 	"ladm/internal/stats"
+	"ladm/internal/svcobs"
 )
 
 // Job lifecycle states reported by the service.
@@ -57,6 +58,8 @@ type jobRecord struct {
 	// hub streams the job's lifecycle transitions to SSE subscribers;
 	// closed at the terminal status.
 	hub *eventHub
+	// tl measures the job's wall-clock lifecycle stages (nil-safe).
+	tl *svcobs.Timeline
 }
 
 // sweepRecord tracks one submitted sweep's progress across its cells.
@@ -113,6 +116,12 @@ type Server struct {
 	pool  *Pool
 	cache *Cache
 
+	// obs is the service-plane observability root: stage histograms,
+	// the wall-clock service tracer and the /statusz indexes. Never
+	// nil — NewServer installs a logger-less observer, SetObserver
+	// swaps in the process-wide one.
+	obs *svcobs.Observer
+
 	// store, when non-nil, is the durable second-level result cache; its
 	// counters are rendered into /metrics. Telemetry jobs spill their
 	// series and trace into its telemetry sibling, so
@@ -160,12 +169,26 @@ func NewServer(pool *Pool) *Server {
 	return &Server{
 		pool:      pool,
 		cache:     NewCache(pool.Metrics()),
+		obs:       svcobs.NewObserver(nil),
 		jobs:      map[string]*jobRecord{},
 		sweeps:    map[string]*sweepRecord{},
 		retainMax: DefaultRetainJobs,
 		maxBody:   DefaultMaxBody,
 	}
 }
+
+// SetObserver swaps in the process-wide observer (shared with the HTTP
+// middleware so edge and job metrics land in one registry). nil resets
+// to a logger-less default. Call before serving.
+func (s *Server) SetObserver(obs *svcobs.Observer) {
+	if obs == nil {
+		obs = svcobs.NewObserver(nil)
+	}
+	s.obs = obs
+}
+
+// Observer returns the server's observability root.
+func (s *Server) Observer() *svcobs.Observer { return s.obs }
 
 // SetStore attaches the durable result store behind the in-memory
 // cache. Call before serving; nil detaches it.
@@ -213,7 +236,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sweeps/{id}", s.handleSweepGet)
 	mux.HandleFunc("GET /sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.HandleFunc("GET /debug/servicetrace", s.handleServiceTrace)
 	return mux
+}
+
+// RouteLabel maps a request onto the bounded route set labeling
+// simsvc_http_request_seconds{route}. Anything the service does not
+// serve collapses into "other", so scraping garbage paths cannot mint
+// metric series.
+func RouteLabel(r *http.Request) string {
+	path := r.URL.Path
+	switch path {
+	case "/run", "/sweep", "/jobs", "/metrics", "/statusz", "/healthz", "/debug/servicetrace":
+		return path
+	}
+	if rest, ok := strings.CutPrefix(path, "/jobs/"); ok {
+		switch {
+		case strings.HasSuffix(rest, "/telemetry"):
+			return "/jobs/{id}/telemetry"
+		case strings.HasSuffix(rest, "/events"):
+			return "/jobs/{id}/events"
+		case !strings.Contains(rest, "/"):
+			return "/jobs/{id}"
+		}
+	}
+	if rest, ok := strings.CutPrefix(path, "/sweeps/"); ok {
+		if strings.HasSuffix(rest, "/events") {
+			return "/sweeps/{id}/events"
+		}
+		if !strings.Contains(rest, "/") {
+			return "/sweeps/{id}"
+		}
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -258,8 +317,10 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (ok b
 }
 
 // register tracks a new job record for the normalized request, evicting
-// stale finished records per the retention policy.
-func (s *Server) register(req Request) *jobRecord {
+// stale finished records per the retention policy. ctx carries the
+// originating request's correlation ID (and logger) into the record's
+// timeline and the "job received" log line.
+func (s *Server) register(ctx context.Context, req Request) *jobRecord {
 	s.mu.Lock()
 	s.nextID++
 	rec := &jobRecord{
@@ -270,9 +331,14 @@ func (s *Server) register(req Request) *jobRecord {
 		submitted: time.Now(),
 		hub:       newEventHub(s.pool.Metrics()),
 	}
+	rec.tl = s.obs.StartTimeline(rec.id, svcobs.RequestIDFrom(ctx))
 	s.jobs[rec.id] = rec
 	s.evictLocked(time.Now())
 	s.mu.Unlock()
+	svcobs.Log(ctx).InfoContext(ctx, "simsvc: job received",
+		"job", rec.id, "key", rec.key.String(),
+		"workload", req.Workload, "policy", req.Policy, "machine", req.Machine,
+		"fidelity", req.Fidelity, "telemetry", req.Telemetry)
 	rec.hub.publish(JobEvent{Type: "status", Job: rec.id, Status: StatusQueued})
 	return rec
 }
@@ -393,9 +459,13 @@ var ErrJobTimeout = errors.New("simsvc: job deadline exceeded")
 
 // execute runs one tracked job to completion through the cache and pool.
 func (s *Server) execute(ctx context.Context, rec *jobRecord) {
+	// The timeline rides the context from here on: the cache marks its
+	// probe stages, the pool marks queue wait and compute, all without
+	// any of them knowing about job records.
+	ctx = svcobs.WithTimeline(ctx, rec.tl)
 	job, err := rec.req.Resolve()
 	if err != nil {
-		s.finishJob(rec, nil, false, err)
+		s.finishJob(ctx, rec, nil, false, err)
 		return
 	}
 	parent := ctx
@@ -421,16 +491,27 @@ func (s *Server) execute(ctx context.Context, rec *jobRecord) {
 		// timeouts and panic isolation apply unchanged). "analytic" has
 		// no fallback — a job outside the model's domain fails rather
 		// than silently switching tiers.
+		m := s.pool.Metrics()
 		tr := &analytic.Runner{
-			Scale:      rec.req.Scale,
-			OnDecision: s.pool.Metrics().ObserveTierDecision,
+			Scale: rec.req.Scale,
+			OnDecision: func(tier string, d analytic.Decision) {
+				m.ObserveTierDecision(tier, d)
+				if tier != analytic.TierAnalytic {
+					svcobs.Log(ctx).InfoContext(ctx, "simsvc: tier escalation",
+						"job", rec.id, "class", d.Class, "reason", d.Reason)
+				}
+			},
 		}
 		if rec.req.Fidelity == FidelityAuto {
 			tr.Fallback = s.pool
 		}
 		exec = tr.Exec
 	}
+	tiered := rec.req.Fidelity != ""
 	run, cached, err := s.cache.Do(ctx, rec.key, func() (*stats.Run, error) {
+		if tiered {
+			rec.tl.Mark(svcobs.StageTier)
+		}
 		return exec(ctx, job)
 	})
 	if tel != nil {
@@ -454,6 +535,7 @@ func (s *Server) execute(ctx context.Context, rec *jobRecord) {
 	if tel != nil && err == nil && s.store != nil {
 		// Spill the full observability output so telemetry survives job
 		// eviction and server restarts; write-behind, off the hot path.
+		rec.tl.Mark(svcobs.StageSpill)
 		trec := &TelemetryRecord{
 			Summary: run.Telemetry,
 			Series:  tel.Series(),
@@ -463,10 +545,14 @@ func (s *Server) execute(ctx context.Context, rec *jobRecord) {
 			s.pool.Metrics().telemetrySpilled.Add(1)
 		}
 	}
-	s.finishJob(rec, run, cached, err)
+	s.finishJob(ctx, rec, run, cached, err)
 }
 
-func (s *Server) finishJob(rec *jobRecord, run *stats.Run, cached bool, err error) {
+func (s *Server) finishJob(ctx context.Context, rec *jobRecord, run *stats.Run, cached bool, err error) {
+	rec.tl.Mark(svcobs.StageRespond)
+	if run != nil {
+		rec.tl.SetTier(run.Tier)
+	}
 	s.mu.Lock()
 	rec.finished = time.Now()
 	rec.run, rec.cached, rec.err = run, cached, err
@@ -479,7 +565,19 @@ func (s *Server) finishJob(rec *jobRecord, run *stats.Run, cached bool, err erro
 		rec.status = StatusFailed
 	}
 	status := rec.status
+	wall := rec.finished.Sub(rec.submitted)
 	s.mu.Unlock()
+	rec.tl.Finish()
+	log := svcobs.Log(ctx)
+	if err != nil {
+		log.WarnContext(ctx, "simsvc: job finished",
+			"job", rec.id, "status", status, "cached", cached,
+			"wall", wall.Seconds(), "error", err.Error())
+	} else {
+		log.InfoContext(ctx, "simsvc: job finished",
+			"job", rec.id, "status", status, "cached", cached,
+			"wall", wall.Seconds())
+	}
 	ev := JobEvent{Type: "status", Job: rec.id, Status: status, Cached: cached}
 	if err != nil {
 		ev.Error = err.Error()
@@ -511,23 +609,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Async {
-		rec := s.register(norm)
+		rec := s.register(r.Context(), norm)
 		// Reserve pool capacity up front so a saturated service answers
 		// 503 instead of hoarding goroutines. The cached/in-flight fast
 		// path needs no slot.
 		if _, hit := s.cache.Get(rec.key); !hit {
 			if err := s.reserve(); err != nil {
-				s.finishJob(rec, nil, false, err)
+				s.finishJob(r.Context(), rec, nil, false, err)
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusServiceUnavailable, err)
 				return
 			}
 		}
-		go s.execute(context.Background(), rec)
+		// WithoutCancel: the job outlives the HTTP request, but keeps
+		// its correlation ID and logger for every later log line.
+		go s.execute(context.WithoutCancel(r.Context()), rec)
 		writeJSON(w, http.StatusAccepted, s.view(rec))
 		return
 	}
-	rec := s.register(norm)
+	rec := s.register(r.Context(), norm)
 	s.execute(r.Context(), rec)
 	s.respondFinished(w, rec)
 }
@@ -602,7 +702,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	recs := make([]*jobRecord, len(cells))
 	for i, cell := range cells {
-		recs[i] = s.register(cell)
+		recs[i] = s.register(r.Context(), cell)
 	}
 	sw := s.registerSweep(recs)
 	runCell := func(ctx context.Context, rec *jobRecord) {
@@ -613,8 +713,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		sw.tick(rec, status, cached)
 	}
 	if req.Async {
+		// WithoutCancel: cells outlive the HTTP request but stay
+		// correlated with it in the logs.
+		ctx := context.WithoutCancel(r.Context())
 		for _, rec := range recs {
-			go runCell(context.Background(), rec)
+			go runCell(ctx, rec)
 		}
 		writeJSON(w, http.StatusAccepted, s.sweepView(sw))
 		return
@@ -884,4 +987,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		WriteStoreProm(w, s.store.Store.Stats())
 	}
+	s.obs.WriteProm(w)
 }

@@ -1,0 +1,177 @@
+package svcobs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBuckets are the fixed histogram bounds (seconds) shared by the
+// job-stage and HTTP-request histograms: sub-millisecond cache probes up
+// through multi-minute paper-scale simulations, log-ish spaced so both
+// a 2 ms store read and a 40 s pagerank land in an interior bucket.
+var DefaultBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Histogram is one fixed-bucket Prometheus histogram. Observations are
+// lock-free atomic adds; a zero value is not usable — use NewHistogram.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given upper bounds (sorted
+// ascending; nil means DefaultBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultBuckets
+	}
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// writeSamples renders the histogram's _bucket/_sum/_count samples.
+// labels is the pre-rendered label list without braces ("" for none);
+// the le label is appended to it per bucket.
+func (h *Histogram) writeSamples(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, b, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count())
+	}
+}
+
+// WriteProm renders the histogram as a full exposition family.
+func (h *Histogram) WriteProm(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	h.writeSamples(w, name, "")
+}
+
+// HistogramVec is a family of histograms sharing bucket bounds, keyed by
+// a fixed label set — the shape behind simsvc_job_stage_seconds{stage,
+// tier} and simsvc_http_request_seconds{route,code}. Children are
+// created on first observation and never removed; label values must be
+// bounded (stage names, route patterns, status codes), never raw paths
+// or IDs.
+type HistogramVec struct {
+	name   string
+	help   string
+	labels []string
+	bounds []float64
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+	keys     []string // sorted for deterministic exposition
+}
+
+// NewHistogramVec returns an empty labeled histogram family.
+func NewHistogramVec(name, help string, labels []string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefaultBuckets
+	}
+	return &HistogramVec{
+		name: name, help: help, labels: labels, bounds: bounds,
+		children: map[string]*Histogram{},
+	}
+}
+
+// labelString renders `k1="v1",k2="v2"` for the child key and exposition.
+func (v *HistogramVec) labelString(values []string) string {
+	var b strings.Builder
+	for i, name := range v.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		val := ""
+		if i < len(values) {
+			val = values[i]
+		}
+		fmt.Fprintf(&b, "%s=%q", name, val)
+	}
+	return b.String()
+}
+
+// With returns the child histogram for the given label values (in label
+// order), creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := v.labelString(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.children[key]
+	if h == nil {
+		h = NewHistogram(v.bounds)
+		v.children[key] = h
+		i := sort.SearchStrings(v.keys, key)
+		v.keys = append(v.keys, "")
+		copy(v.keys[i+1:], v.keys[i:])
+		v.keys[i] = key
+	}
+	return h
+}
+
+// Observe records one value under the given label values.
+func (v *HistogramVec) Observe(value float64, labels ...string) {
+	v.With(labels...).Observe(value)
+}
+
+// WriteProm renders every child under one HELP/TYPE header, children in
+// sorted label order. A family with no children is omitted entirely
+// (Prometheus treats absent and empty identically).
+func (v *HistogramVec) WriteProm(w io.Writer) {
+	v.mu.Lock()
+	keys := append([]string(nil), v.keys...)
+	children := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		children[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name)
+	for i, k := range keys {
+		children[i].writeSamples(w, v.name, k)
+	}
+}

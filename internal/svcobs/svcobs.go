@@ -1,0 +1,151 @@
+// Package svcobs is the service-plane observability layer: wall-clock
+// instrumentation of the machinery *around* the simulator — the HTTP
+// edge, the worker pool, the two-level result cache, the durable store
+// and the fidelity-tier router — as opposed to internal/simtel, which
+// observes simulated time inside a run.
+//
+// The package provides four cooperating pieces:
+//
+//   - Correlation: a request/job ID minted at the HTTP edge (accepted or
+//     generated from X-Request-ID) rides context.Context through every
+//     layer, and a context-aware slog handler stamps it on every log
+//     line, so one grep reconstructs a job's whole story.
+//   - Stage timelines: each job's wall-clock lifecycle (received → queue
+//     wait → cache probe → store probe → tier decision → compute → spill
+//     → respond) is measured span by span and exported as fixed-bucket
+//     Prometheus histograms.
+//   - Service traces: finished timelines become Chrome/Perfetto trace
+//     spans, one track per worker, so a sweep's *scheduling* can be
+//     eyeballed exactly like a kernel's memory behavior.
+//   - Status: an Observer aggregates uptime, in-flight jobs with their
+//     current stage and a ring of the slowest recent jobs for /statusz.
+//
+// Everything is nil-safe: a component handed no Observer, or a context
+// carrying no timeline, pays a pointer check and does nothing — the
+// simulated-time plane (engine, simtel) is never touched.
+package svcobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ctxKey is the private type for the package's context keys.
+type ctxKey int
+
+const (
+	ctxRequestID ctxKey = iota
+	ctxLogger
+	ctxTimeline
+)
+
+// MaxRequestIDLen caps accepted X-Request-ID values; longer (or
+// newline-carrying) client values are replaced with a generated ID so a
+// hostile header cannot bloat logs or split log lines.
+const MaxRequestIDLen = 128
+
+// NewRequestID returns a fresh 16-byte random hex correlation ID.
+func NewRequestID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a fixed
+		// fallback keeps observability itself from ever erroring.
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID validates a client-supplied correlation ID: printable,
+// no whitespace/control bytes, bounded length. ok=false means the caller
+// should mint a fresh one.
+func SanitizeRequestID(id string) (string, bool) {
+	if id == "" || len(id) > MaxRequestIDLen {
+		return "", false
+	}
+	if strings.ContainsFunc(id, func(r rune) bool { return r <= ' ' || r == 0x7f || r == '"' }) {
+		return "", false
+	}
+	return id, true
+}
+
+// WithRequestID returns ctx carrying the correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxRequestID, id)
+}
+
+// RequestIDFrom returns the correlation ID carried by ctx ("" if none).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxRequestID).(string)
+	return id
+}
+
+// WithLogger returns ctx carrying the logger components should log with.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, ctxLogger, l)
+}
+
+// nopLogger discards everything; Log returns it when ctx carries no
+// logger, so instrumented components log unconditionally and cost
+// nothing outside an observed service.
+var nopLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+
+// Log returns the logger carried by ctx, or a no-op logger. Components
+// below the HTTP edge (pool, cache, tier router) log through this, so
+// they need no logger plumbing of their own and stay silent in tests
+// and CLIs that did not opt in.
+func Log(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(ctxLogger).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return nopLogger
+}
+
+// ctxHandler decorates a slog.Handler with the context correlation ID:
+// every record logged through a context carrying a request ID gains a
+// request_id attribute, which is the whole correlation contract — code
+// never passes IDs explicitly, it logs with its context.
+type ctxHandler struct {
+	inner slog.Handler
+}
+
+func (h ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := RequestIDFrom(ctx); id != "" {
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the service logger: text or JSON lines on w, at the
+// given level, with the context correlation ID injected on every record.
+func NewLogger(w io.Writer, level slog.Level, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if json {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(ctxHandler{inner: h})
+}
+
+// WrapLogger injects the correlation-ID behavior into an existing
+// handler (tests use it to capture records in memory).
+func WrapLogger(h slog.Handler) *slog.Logger {
+	return slog.New(ctxHandler{inner: h})
+}

@@ -1,0 +1,144 @@
+package svcobs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"ladm/internal/simtel"
+)
+
+// DefaultTraceEvents bounds the service tracer's span ring. At ~8 spans
+// per job that is thousands of recent jobs — far more than a screenful
+// of Perfetto — in a few MB of memory.
+const DefaultTraceEvents = 65536
+
+// Tracer records finished job timelines as wall-clock Chrome trace
+// events: one process ("service"), one thread track per pool worker
+// plus an "edge" track for jobs that never reached a worker (cache
+// hits, analytic-tier answers), one "X" span per job stage. It reuses
+// simtel's trace-event writer, so the service's schedule loads in
+// Perfetto exactly like a kernel's — with wall microseconds where the
+// simulator trace has simulated cycles.
+//
+// The ring is bounded: beyond max events the oldest quarter is dropped,
+// so a long-lived server always serves its recent history.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	max    int
+	events []simtel.Event
+	tracks map[int]bool // thread-name metadata already emitted, by tid
+	drops  int64        // events trimmed from the ring
+}
+
+// newTracer returns a tracer whose timestamps count from now.
+func newTracer(maxEvents int) *Tracer {
+	if maxEvents <= 0 {
+		maxEvents = DefaultTraceEvents
+	}
+	return &Tracer{start: time.Now(), max: maxEvents, tracks: map[int]bool{}}
+}
+
+// tid maps a timeline's worker to its trace track: tid 0 is the edge
+// track, workers count from 1.
+func workerTID(worker int) int {
+	if worker < 0 {
+		return 0
+	}
+	return worker + 1
+}
+
+// ensureTrackLocked emits the thread-name metadata for a tid once.
+func (t *Tracer) ensureTrackLocked(tid int) {
+	if t.tracks[tid] {
+		return
+	}
+	t.tracks[tid] = true
+	name := "edge"
+	if tid > 0 {
+		name = fmt.Sprintf("worker %d", tid-1)
+	}
+	t.events = append(t.events, simtel.Event{
+		Name: "thread_name", Ph: "M", PID: 0, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// addJob appends one finished job's stage spans to the ring.
+func (t *Tracer) addJob(name, reqID, tier string, worker int, spans []StageSpan) {
+	if t == nil {
+		return
+	}
+	tid := workerTID(worker)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureTrackLocked(tid)
+	for _, sp := range spans {
+		dur := sp.End.Sub(sp.Start)
+		if dur <= 0 {
+			continue
+		}
+		args := map[string]any{"stage": sp.Stage, "tier": tier}
+		if reqID != "" {
+			args["request_id"] = reqID
+		}
+		t.events = append(t.events, simtel.Event{
+			Name: fmt.Sprintf("%s/%s", name, sp.Stage), Cat: "job", Ph: "X",
+			TS:  float64(sp.Start.Sub(t.start).Microseconds()),
+			Dur: float64(dur.Microseconds()),
+			PID: 0, TID: tid, Args: args,
+		})
+	}
+	if len(t.events) > t.max {
+		// Trim the oldest quarter in one move; metadata events are
+		// re-emitted lazily because t.tracks is reset.
+		cut := t.max / 4
+		t.drops += int64(cut)
+		t.events = append(t.events[:0], t.events[cut:]...)
+		t.tracks = map[int]bool{}
+	}
+}
+
+// Events returns a sorted copy of the ring: metadata first, then spans
+// by start time (trimming can leave them out of order).
+func (t *Tracer) Events() []simtel.Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	evs := append([]simtel.Event(nil), t.events...)
+	start := t.start
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		mi, mj := evs[i].Ph == "M", evs[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return evs[i].TS < evs[j].TS
+	})
+	// Re-name the process once per write; cheap and keeps addJob lean.
+	meta := []simtel.Event{{
+		Name: "process_name", Ph: "M", PID: 0,
+		Args: map[string]any{"name": fmt.Sprintf("ladm service (t0=%s)", start.Format(time.RFC3339))},
+	}}
+	return append(meta, evs...)
+}
+
+// WriteTrace writes the service trace as Chrome trace JSON, loadable in
+// chrome://tracing and Perfetto.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	return simtel.WriteTraceEvents(w, t.Events())
+}
+
+// Len returns the number of buffered events (tests and /statusz).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
