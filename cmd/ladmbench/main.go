@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -34,9 +35,11 @@ import (
 	"time"
 
 	"ladm/internal/analytic"
+	"ladm/internal/core"
 	"ladm/internal/experiments"
 	"ladm/internal/kernels"
 	"ladm/internal/simsvc"
+	"ladm/internal/stats"
 	"ladm/internal/svcobs"
 )
 
@@ -58,6 +61,8 @@ func main() {
 		"serving tier for sweep cells: event, analytic (model-only), or auto (model with escalation)")
 	serviceTrace := flag.String("service-trace", "",
 		"write a wall-clock Chrome/Perfetto trace of the campaign's pool activity (one track per worker, one span per job stage) to this file")
+	parallel := flag.Int("parallel", 1,
+		"parallel degree of the event core per cell (NUMA-node generation shards; records are byte-identical at every degree, so caches and stores are shared)")
 	flag.Parse()
 
 	// With -service-trace the pool opens a wall-clock timeline per job;
@@ -72,7 +77,16 @@ func main() {
 	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: *workers, Observer: obs})
 	defer pool.Close()
 
-	o := experiments.Options{Scale: *scale, Workers: *workers, Runner: pool}
+	// -parallel wraps the pool so every path into it — direct sweeps and
+	// analytic-tier escalations alike — stamps the event core's degree on
+	// the jobs. The records are byte-identical at any degree, so this
+	// changes wall time only.
+	var base simsvc.Runner = pool
+	if *parallel > 1 {
+		base = parallelRunner{inner: pool, degree: *parallel}
+	}
+
+	o := experiments.Options{Scale: *scale, Workers: *workers, Runner: base}
 	if *full {
 		o.Scale = 1
 	}
@@ -86,7 +100,7 @@ func main() {
 		cacheFidelity = *fidelity
 		tr := &analytic.Runner{Scale: o.Scale, OnDecision: pool.Metrics().ObserveTierDecision}
 		if *fidelity == simsvc.FidelityAuto {
-			tr.Fallback = pool
+			tr.Fallback = base
 		}
 		o.Runner = tr
 	default:
@@ -191,6 +205,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ladmbench: service trace: %d events -> %s\n",
 			obs.Tracer.Len(), *serviceTrace)
 	}
+}
+
+// parallelRunner stamps the event core's parallel degree onto every job
+// before handing the sweep to the inner runner. Jobs that already chose a
+// degree keep it.
+type parallelRunner struct {
+	inner  simsvc.Runner
+	degree int
+}
+
+func (p parallelRunner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error) {
+	for i := range jobs {
+		if jobs[i].Parallel == 0 {
+			jobs[i].Parallel = p.degree
+		}
+	}
+	return p.inner.Sweep(ctx, jobs)
 }
 
 // appendCSV writes the experiment's structured values as

@@ -71,6 +71,16 @@ type Engine struct {
 	queues    [][]int32
 	queueBack [][]int32
 
+	// bufHint is the high-water transaction-buffer capacity, used to
+	// presize fresh executors' buffers so they skip the growth reallocs.
+	bufHint int
+
+	// par, when non-nil, is the parallel event core: NUMA-node-sharded
+	// goroutines generate memory phases ahead of the commit loop (this
+	// goroutine), which dispatches every event in the sequential (t, seq)
+	// order. Results are byte-identical at every degree; see parallel.go.
+	par *parEngine
+
 	// stealTBs mirrors Policy.StealTBs: an SM whose node queue drained
 	// may pull TBs from the deepest other queue (see takeTB).
 	stealTBs bool
@@ -161,17 +171,43 @@ func New(plan *runtime.Plan) *Engine {
 		e.sched.startSampling(e.tel.SampleEvery(), e.telSample)
 	}
 	e.tel.SetTopology(cfg.Nodes(), cfg.SMsPerChiplet)
+	if deg := plan.Parallel; deg > 1 {
+		if deg > cfg.Nodes() {
+			deg = cfg.Nodes()
+		}
+		if deg > 1 {
+			e.par = newParEngine(e, deg)
+			e.sched.startEpochs(e.net.MinCrossNodeLatency(), e.par.pump)
+		}
+	}
 	return e
 }
 
-// acquireTx pops a recycled transaction state (or makes the pool's next).
+// Free-list refills come in slabs: the pools' warm-up used to be the
+// simulator's dominant allocation count (one heap object per peak
+// in-flight transaction — 160k allocs/op on random-loc, misattributed for
+// a while to the symbolic env handling until a profile pinned it on
+// acquireTx). A slab turns N warm-up allocations into one without
+// changing the free lists' steady-state behavior: released objects still
+// recycle individually.
+const (
+	txSlabSize = 256
+	prSlabSize = 64
+	tbSlabSize = 32
+)
+
+// acquireTx pops a recycled transaction state (or carves a fresh slab).
 func (e *Engine) acquireTx() *txState {
 	if n := len(e.txFree); n > 0 {
 		st := e.txFree[n-1]
 		e.txFree = e.txFree[:n-1]
 		return st
 	}
-	return &txState{}
+	slab := make([]txState, txSlabSize)
+	for i := range slab[1:] {
+		e.txFree = append(e.txFree, &slab[1+i])
+	}
+	return &slab[0]
 }
 
 // releaseTx returns a retired transaction state to the free list. Safe
@@ -182,14 +218,18 @@ func (e *Engine) releaseTx(st *txState) {
 	e.txFree = append(e.txFree, st)
 }
 
-// acquirePR pops a recycled phase state.
+// acquirePR pops a recycled phase state (or carves a fresh slab).
 func (e *Engine) acquirePR() *phaseRun {
 	if n := len(e.prFree); n > 0 {
 		p := e.prFree[n-1]
 		e.prFree = e.prFree[:n-1]
 		return p
 	}
-	return &phaseRun{}
+	slab := make([]phaseRun, prSlabSize)
+	for i := range slab[1:] {
+		e.prFree = append(e.prFree, &slab[1+i])
+	}
+	return &slab[0]
 }
 
 // releasePR recycles a phase once it has finished AND its last in-flight
@@ -202,19 +242,37 @@ func (e *Engine) releasePR(p *phaseRun) {
 
 // acquireTB pops a recycled threadblock executor; its transaction buffer
 // rides along, so steady-state phases coalesce into warm backing arrays.
+// Fresh executors (slab-carved) get their buffer presized to the largest
+// phase seen so far, so first-use phases extend an adequate array instead
+// of re-growing from nil (the growth appends in trace.merge were the
+// second-largest allocation source after the free-list warm-up).
 func (e *Engine) acquireTB() *tbExec {
 	if n := len(e.tbFree); n > 0 {
 		x := e.tbFree[n-1]
 		e.tbFree = e.tbFree[:n-1]
+		if cap(x.buf) == 0 && e.bufHint > 0 {
+			x.buf = make([]trace.Transaction, 0, e.bufHint)
+		}
 		return x
 	}
-	return &tbExec{}
+	slab := make([]tbExec, tbSlabSize)
+	for i := range slab[1:] {
+		e.tbFree = append(e.tbFree, &slab[1+i])
+	}
+	x := &slab[0]
+	if e.bufHint > 0 {
+		x.buf = make([]trace.Transaction, 0, e.bufHint)
+	}
+	return x
 }
 
 // releaseTB recycles an executor whose node queue has drained, keeping
 // its buffer. Outstanding stores from the final phase reference their
 // phaseRun, not x, so clearing x here is safe.
 func (e *Engine) releaseTB(x *tbExec) {
+	if c := cap(x.buf); c > e.bufHint {
+		e.bufHint = c
+	}
 	buf := x.buf[:0]
 	*x = tbExec{buf: buf}
 	e.tbFree = append(e.tbFree, x)
@@ -345,12 +403,20 @@ var ErrInterrupted = errors.New("engine: simulation interrupted")
 // Run simulates every launch of the plan's workload and returns the
 // aggregated measurements.
 func (e *Engine) Run() (*stats.Run, error) {
+	if e.par != nil {
+		e.par.start()
+		defer e.par.stop()
+	}
 	resolver := e.plan.Workload.Resolver()
 	for _, lp := range e.plan.Launches {
 		gen, err := trace.New(lp.Launch.Kernel, e.plan.Space, resolver,
 			e.cfg.LineBytes, e.cfg.SectorBytes, e.cfg.WarpSize)
 		if err != nil {
 			return nil, err
+		}
+		if e.par != nil {
+			e.par.setLaunch(gen, lp.Launch.Kernel,
+				lp.Launch.Kernel.WarpsPerTB(e.cfg.WarpSize))
 		}
 		for rep := 0; rep < lp.Launch.EffTimes(); rep++ {
 			e.runKernel(gen, &lp)
@@ -474,6 +540,9 @@ func (e *Engine) runKernel(gen *trace.Generator, lp *runtime.LaunchPlan) {
 			if !ok {
 				continue
 			}
+			if e.par != nil {
+				e.par.bind(int(tb), node)
+			}
 			ex := e.acquireTB()
 			ex.e = e
 			ex.gen = gen
@@ -490,6 +559,13 @@ func (e *Engine) runKernel(gen *trace.Generator, lp *runtime.LaunchPlan) {
 		}
 	}
 	e.sched.drain()
+	if e.par != nil && !e.sched.stopped {
+		// Epoch barrier: every phase of the repetition has been consumed,
+		// so quiesce the shards before the next repetition rebinds the
+		// same threadblock ids (or the next launch installs a new
+		// generator).
+		e.par.barrier()
+	}
 	e.tel.KernelSpan(k.Name, lp.Assignment.TotalTBs(), start, e.sched.now)
 }
 
@@ -536,7 +612,13 @@ func (x *tbExec) phaseDone(end float64) {
 	e.tel.TBSpan(x.k.Name, x.node, x.sm, x.tb, x.born, end)
 	e.telRetired[x.node]++
 	e.curRetired++
+	if e.par != nil {
+		e.par.unbind(x.tb)
+	}
 	if tb, ok := e.takeTB(x.node); ok {
+		if e.par != nil {
+			e.par.bind(int(tb), x.node)
+		}
 		x.tb = int(tb)
 		x.stage = 0
 		x.m = 0
@@ -563,15 +645,36 @@ func (x *tbExec) execPhase(t0 float64, phase kir.Phase, m int) {
 		return
 	}
 
-	x.buf = x.buf[:0]
-	instrs := 0
-	for w := 0; w < x.warps; w++ {
-		var n int
-		x.buf, n = x.gen.WarpTransactions(x.tb, w, m, phase, x.buf)
-		instrs += n
+	var shell *genShell
+	if e.par != nil {
+		// Parallel core: the phase was pre-generated by the owning shard.
+		// This fetch sits at exactly the point the sequential engine
+		// generates, so the accounting below lands in the same event order.
+		shell = e.par.fetch(x.tb)
+		if shell.phase != phase || shell.m != m {
+			panic("parallel: phase stream out of step with the executor")
+		}
+		e.run.WarpInstrs += uint64(shell.instrs)
+	} else {
+		if cap(x.buf) < e.bufHint {
+			// A peer executor already saw a bigger phase: jump straight to
+			// the high-water capacity instead of re-growing through the
+			// doublings.
+			x.buf = make([]trace.Transaction, 0, e.bufHint)
+		}
+		x.buf = x.buf[:0]
+		instrs := 0
+		for w := 0; w < x.warps; w++ {
+			var n int
+			x.buf, n = x.gen.WarpTransactions(x.tb, w, m, phase, x.buf)
+			instrs += n
+		}
+		x.gen.FinalizeBytes(x.buf)
+		if c := cap(x.buf); c > e.bufHint {
+			e.bufHint = c
+		}
+		e.run.WarpInstrs += uint64(instrs)
 	}
-	x.gen.FinalizeBytes(x.buf)
-	e.run.WarpInstrs += uint64(instrs)
 
 	// Each resident threadblock owns a share of the SM's MSHRs: at most
 	// `window` of its transactions are in flight at once.
@@ -584,17 +687,26 @@ func (x *tbExec) execPhase(t0 float64, phase kir.Phase, m int) {
 	pr.x = x
 	pr.t0 = t0
 	pr.compute = compute
-	// Hand the buffer off instead of copying: every transaction is issued
-	// (read out of txs) before the phase can end, and x refills buf only
-	// when its next phase begins — after this phase's phaseDone — so the
-	// backing array is never read and rewritten concurrently.
-	pr.txs = x.buf
-	pr.window = window
-	for i := range pr.txs {
-		if pr.txs[i].Mode == kir.Load {
-			pr.loadsTotal++
+	if shell != nil {
+		// The shard counted loads while filling the shell; the buffer goes
+		// home for refilling once every transaction has been issued.
+		pr.txs = shell.txs
+		pr.shell = shell
+		pr.loadsTotal = shell.loads
+	} else {
+		// Hand the buffer off instead of copying: every transaction is
+		// issued (read out of txs) before the phase can end, and x refills
+		// buf only when its next phase begins — after this phase's
+		// phaseDone — so the backing array is never read and rewritten
+		// concurrently.
+		pr.txs = x.buf
+		for i := range pr.txs {
+			if pr.txs[i].Mode == kir.Load {
+				pr.loadsTotal++
+			}
 		}
 	}
+	pr.window = window
 	pr.lastIssue = t0
 	pr.issue(t0)
 }
@@ -616,7 +728,8 @@ type phaseRun struct {
 	compute float64
 
 	txs    []trace.Transaction
-	next   int // next tx to issue
+	shell  *genShell // parallel core: the shard-owned buffer behind txs
+	next   int       // next tx to issue
 	window int
 
 	inFlight   int
@@ -680,6 +793,14 @@ func (p *phaseRun) maybeFinish() {
 		return
 	}
 	p.finished = true
+	if p.shell != nil {
+		// Every transaction has been issued (copied by value into its
+		// txState), so nothing reads txs again — the shell can go home for
+		// refilling even while this phase's stores drain.
+		p.e.par.release(p.shell)
+		p.shell = nil
+		p.txs = nil
+	}
 	end := maxF(p.maxLoad, p.lastIssue) + p.compute
 	p.observe(end)
 	x, e := p.x, p.e

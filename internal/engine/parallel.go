@@ -1,0 +1,607 @@
+package engine
+
+// Parallel event core: conservative time-sharded simulation across
+// NUMA-node goroutines.
+//
+// The sequential engine interleaves two very different kinds of work in
+// one goroutine: *time-dependent* event processing (booking bandwidth
+// queues, cache lookups, first-touch placement — everything whose outcome
+// depends on the global (t, seq) order) and *time-invariant* trace
+// generation (evaluating the symbolic index equations of a threadblock's
+// warps and coalescing them into transactions — a pure function of
+// (tb, warp, m, phase) that profiles show is 10-25% of a run).
+//
+// A classic conservative PDES split — every shard running its own clock
+// and event heap up to a lookahead horizon — cannot keep this simulator's
+// headline guarantee, bit-identical results: the sequential tie-break for
+// events at equal timestamps is the global seq assignment order, which
+// concurrent shards cannot reproduce, and equal timestamps are common
+// (integer-quantized latencies collide constantly). So the shards here are
+// arranged the other way around: per-NUMA-node goroutines run *only* the
+// time-invariant work, generating each threadblock's memory phases ahead
+// of need, while the commit loop — the unchanged scheduler with the
+// unchanged heap — dispatches every event and books every resource in
+// exactly the sequential (t, seq) order. Determinism is by construction:
+// the commit loop consumes pre-generated transactions at precisely the
+// point the sequential engine would have generated them, so every golden
+// record is reproduced byte for byte at any parallel degree.
+//
+// The conservative window still exists, but bounds data movement instead
+// of clocks: shard output is committed into the demux queues at epoch
+// boundaries spaced by the machine's minimum cross-node link latency
+// (interconnect.MinCrossNodeLatency — no event can cross nodes faster
+// than that, so no packet is needed sooner), and on demand when the
+// commit loop would otherwise starve.
+//
+// Shard ownership follows the hardware: shard i generates for the
+// threadblocks bound on a contiguous range of NUMA nodes, so the degree
+// is naturally capped at the node count and each shard's working set is
+// its nodes' resident threadblocks.
+//
+// Mailbox protocol (all channels are per-(commit, shard) pairs):
+//
+//	req: commit -> shard   binds, launch setup, barrier requests
+//	res: shard  -> commit  filled genShells (one memory phase each)
+//	ret: commit -> shard   drained shells going home for refill
+//	ack: shard  -> commit  barrier acknowledgements
+//
+// Deadlock freedom: the shard's only blocking point is one select over
+// {send res, recv ret, recv req, recv done}, so it can always absorb
+// commit-side sends; the commit loop, when blocked fetching a packet,
+// drains res traffic (demuxing other threadblocks' shells) until its own
+// arrives. Shells bound the in-flight work: each threadblock stream owns
+// shellsPerStream buffers, and a stream stalls (never blocks) when all
+// are lent out.
+//
+// An epoch barrier closes every kernel repetition: commit has consumed
+// every phase by then, so the barrier just reels the lent shells home,
+// checks the books balance, and leaves the shard idle for the next
+// launch's generator clone. Interrupts skip the barrier — teardown closes
+// done and the shards exit from whatever select they are blocked in.
+
+import (
+	"sync"
+
+	"ladm/internal/kir"
+	"ladm/internal/trace"
+)
+
+// shellsPerStream is the per-threadblock generation lookahead: how many
+// phases a shard may run ahead of the commit loop for one threadblock.
+// Phases are consumed strictly in order, so this is double-buffering plus
+// one phase of slack — enough to hide generation latency behind the
+// previous phase's memory time without holding whole kernels in memory.
+const shellsPerStream = 3
+
+// genShell is one pre-generated memory phase: the coalesced transactions
+// plus the accounting the commit loop would otherwise compute inline.
+// Shells shuttle between their owning shard (fill) and the commit loop
+// (drain) over channels, so the happens-before edges that make the buffer
+// handoff race-free come from the sends themselves.
+type genShell struct {
+	tb     int
+	phase  kir.Phase
+	m      int
+	txs    []trace.Transaction
+	instrs int
+	loads  int
+
+	stream *genStream // shard-local bookkeeping; commit never touches it
+}
+
+// genStream is a shard's view of one bound threadblock: the phase cursor
+// (mirroring tbExec's stage machine), the free shells, and the lent count.
+type genStream struct {
+	tb    int
+	shard int
+	stage int // 0=pre, 1=loop, 2=post, 3=exhausted
+	m     int
+	iters int
+	sites *[3]int // the shard's per-phase site counts for this launch
+
+	free []*genShell
+	lent int
+
+	inWork bool
+}
+
+// shardReqKind tags control messages on the req channel.
+type shardReqKind uint8
+
+const (
+	reqBind shardReqKind = iota
+	reqLaunch
+	reqBarrier
+)
+
+type shardReq struct {
+	kind  shardReqKind
+	tb    int
+	gen   *trace.Generator // reqLaunch: this shard's private clone
+	k     *kir.Kernel
+	warps int
+}
+
+// genShard is one generation goroutine plus its mailboxes. All fields
+// below the channels are goroutine-local to the shard's loop.
+type genShard struct {
+	id   int
+	req  chan shardReq
+	res  chan *genShell
+	ret  chan *genShell
+	ack  chan struct{}
+	done chan struct{}
+	wg   *sync.WaitGroup
+
+	gen   *trace.Generator
+	k     *kir.Kernel
+	warps int
+
+	// sites caches AccessSites per phase for the current launch, so the
+	// stream cursor can skip empty phases exactly like tbExec.execPhase.
+	sites [3]int
+
+	work       []*genStream // streams able to generate right now (FIFO)
+	outbox     []*genShell  // filled shells awaiting pickup (FIFO)
+	active     int          // bound streams not yet fully reclaimed
+	totalLent  int          // shells away from their streams
+	shellPool  []*genShell
+	streamPool []*genStream
+	bufHint    int // high-water transaction count, presizes new shells
+}
+
+// pendQ is the commit loop's per-threadblock delivery queue: a fixed ring,
+// because a stream can never have more than shellsPerStream shells in
+// flight. pendQs are pooled across binds.
+type pendQ struct {
+	shard   int
+	ring    [shellsPerStream]*genShell
+	head, n int
+}
+
+func (q *pendQ) push(sh *genShell) {
+	if q.n == len(q.ring) {
+		panic("parallel: pending overflow (shard ran past its lookahead)")
+	}
+	q.ring[(q.head+q.n)%len(q.ring)] = sh
+	q.n++
+}
+
+func (q *pendQ) pop() *genShell {
+	sh := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % len(q.ring)
+	q.n--
+	return sh
+}
+
+// parEngine owns the shard goroutines and the commit-side demux state.
+// Everything here runs on the engine's goroutine except the shard loops.
+type parEngine struct {
+	e      *Engine
+	degree int
+	owner  []int // node -> shard index
+
+	shards  []*genShard
+	wg      sync.WaitGroup
+	doneCh  chan struct{}
+	started bool
+
+	pending map[int]*pendQ // tb -> undelivered shells
+	qPool   []*pendQ
+}
+
+// newParEngine wires the shard topology for a clamped degree >= 2. The
+// goroutines start at Run time (start), so a constructed-but-never-run
+// engine leaks nothing.
+func newParEngine(e *Engine, degree int) *parEngine {
+	nodes := e.cfg.Nodes()
+	pe := &parEngine{
+		e:       e,
+		degree:  degree,
+		owner:   make([]int, nodes),
+		pending: make(map[int]*pendQ),
+	}
+	for node := 0; node < nodes; node++ {
+		pe.owner[node] = node * degree / nodes
+	}
+	return pe
+}
+
+// start spawns the shard goroutines. Fresh channels every call, so an
+// engine can in principle Run more than once.
+func (pe *parEngine) start() {
+	pe.doneCh = make(chan struct{})
+	pe.shards = make([]*genShard, pe.degree)
+	for i := range pe.shards {
+		s := &genShard{
+			id:   i,
+			req:  make(chan shardReq, 256),
+			res:  make(chan *genShell, 16),
+			ret:  make(chan *genShell, 256),
+			ack:  make(chan struct{}, 1),
+			done: pe.doneCh,
+			wg:   &pe.wg,
+		}
+		pe.shards[i] = s
+		pe.wg.Add(1)
+		go s.loop()
+	}
+	pe.started = true
+}
+
+// stop tears the shards down unconditionally (normal end of Run and the
+// interrupt path alike): closing done unblocks every shard select.
+func (pe *parEngine) stop() {
+	if !pe.started {
+		return
+	}
+	close(pe.doneCh)
+	pe.wg.Wait()
+	pe.started = false
+	clear(pe.pending)
+}
+
+// setLaunch hands every shard its private generator clone for the next
+// kernel launch. Called only while the shards are idle (engine start or
+// after a barrier), so the clones race with nothing.
+func (pe *parEngine) setLaunch(gen *trace.Generator, k *kir.Kernel, warps int) {
+	for _, s := range pe.shards {
+		s.req <- shardReq{kind: reqLaunch, gen: gen.Clone(), k: k, warps: warps}
+	}
+}
+
+// bind tells the owning shard to start generating tb's phases. Called at
+// the exact points the sequential engine binds a threadblock to an
+// executor (initial fill and retire-time rebind), so it is part of the
+// deterministic event order.
+func (pe *parEngine) bind(tb, node int) {
+	shard := pe.owner[node]
+	var q *pendQ
+	if n := len(pe.qPool); n > 0 {
+		q = pe.qPool[n-1]
+		pe.qPool = pe.qPool[:n-1]
+	} else {
+		q = &pendQ{}
+	}
+	q.shard = shard
+	pe.pending[tb] = q
+	pe.shards[shard].req <- shardReq{kind: reqBind, tb: tb}
+}
+
+// unbind retires tb's delivery queue once its last phase has been
+// consumed.
+func (pe *parEngine) unbind(tb int) {
+	q := pe.pending[tb]
+	if q == nil {
+		return
+	}
+	if q.n != 0 {
+		panic("parallel: threadblock retired with undelivered phases")
+	}
+	delete(pe.pending, tb)
+	*q = pendQ{}
+	pe.qPool = append(pe.qPool, q)
+}
+
+// fetch returns tb's next pre-generated phase, blocking on the owning
+// shard's res channel until it arrives. Shells for other threadblocks
+// received while waiting are demuxed into their queues, so a fetch never
+// discards traffic and the shard never stalls on a full channel while
+// commit waits.
+func (pe *parEngine) fetch(tb int) *genShell {
+	q := pe.pending[tb]
+	for q.n == 0 {
+		pe.deliver(<-pe.shards[q.shard].res)
+	}
+	sh := q.pop()
+	if sh.tb != tb {
+		panic("parallel: phase delivered to the wrong threadblock")
+	}
+	return sh
+}
+
+// deliver routes one shell into its threadblock's queue.
+func (pe *parEngine) deliver(sh *genShell) {
+	q := pe.pending[sh.tb]
+	if q == nil {
+		panic("parallel: shell for an unbound threadblock")
+	}
+	q.push(sh)
+}
+
+// pump drains whatever shells the shards have finished, without blocking.
+// The scheduler calls it at conservative-window epochs (every
+// MinCrossNodeLatency cycles of simulated time); it moves data only, so
+// it is invisible to simulated timing.
+func (pe *parEngine) pump() {
+	for _, s := range pe.shards {
+	drain:
+		for {
+			select {
+			case sh := <-s.res:
+				pe.deliver(sh)
+			default:
+				break drain
+			}
+		}
+	}
+}
+
+// release sends a drained shell home for refilling. Safe to block: the
+// shard always returns to its select, which always has the ret case armed.
+func (pe *parEngine) release(sh *genShell) {
+	pe.shards[sh.stream.shardID()].ret <- sh
+}
+
+// shardID recovers the owning shard from stream bookkeeping. Streams are
+// shard-local, so the commit loop may only read the immutable tb→shard
+// mapping baked in at bind time; to keep that honest the shard id rides in
+// the stream struct.
+func (st *genStream) shardID() int { return st.shard }
+
+// barrier quiesces every shard at a kernel-repetition boundary: all
+// phases have been consumed by now, so each shard reels its lent shells
+// home, checks that its books balance, and acknowledges. After the
+// barrier the shards are idle and a new launch (or generator clone) can
+// be installed.
+func (pe *parEngine) barrier() {
+	for _, s := range pe.shards {
+		s.req <- shardReq{kind: reqBarrier}
+	}
+	for _, s := range pe.shards {
+		<-s.ack
+	}
+	if len(pe.pending) != 0 {
+		panic("parallel: barrier with bound threadblocks outstanding")
+	}
+}
+
+// ---- shard side ----
+
+// loop is the shard goroutine: generate when a stream has work and a free
+// shell, otherwise block in the mailbox select. The `default` arm makes
+// generation the idle activity — control traffic is absorbed the moment
+// it arrives, keeping the commit loop's blocking sends short.
+func (s *genShard) loop() {
+	defer s.wg.Done()
+	for {
+		var resC chan *genShell
+		var first *genShell
+		if len(s.outbox) > 0 {
+			resC, first = s.res, s.outbox[0]
+		}
+		if len(s.work) > 0 {
+			select {
+			case resC <- first:
+				s.popOutbox()
+			case sh := <-s.ret:
+				s.takeBack(sh)
+			case m := <-s.req:
+				s.handle(m)
+			case <-s.done:
+				return
+			default:
+				s.generateNext()
+			}
+			continue
+		}
+		select {
+		case resC <- first:
+			s.popOutbox()
+		case sh := <-s.ret:
+			s.takeBack(sh)
+		case m := <-s.req:
+			s.handle(m)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *genShard) popOutbox() {
+	s.outbox[0] = nil
+	s.outbox = s.outbox[1:]
+	if len(s.outbox) == 0 {
+		// Reset so the backing array is reused instead of crawling forward.
+		s.outbox = s.outbox[:0:cap(s.outbox)]
+	}
+}
+
+func (s *genShard) handle(m shardReq) {
+	switch m.kind {
+	case reqLaunch:
+		s.gen = m.gen
+		s.k = m.k
+		s.warps = m.warps
+		s.sites[kir.PreLoop] = s.gen.AccessSites(kir.PreLoop)
+		s.sites[kir.InLoop] = s.gen.AccessSites(kir.InLoop)
+		s.sites[kir.PostLoop] = s.gen.AccessSites(kir.PostLoop)
+	case reqBind:
+		s.bindStream(m.tb)
+	case reqBarrier:
+		for s.totalLent > 0 {
+			select {
+			case sh := <-s.ret:
+				s.takeBack(sh)
+			case <-s.done:
+				return
+			}
+		}
+		if s.active != 0 || len(s.outbox) != 0 || len(s.work) != 0 {
+			panic("parallel: barrier with generation outstanding")
+		}
+		s.ack <- struct{}{}
+	}
+}
+
+func (s *genShard) bindStream(tb int) {
+	var st *genStream
+	if n := len(s.streamPool); n > 0 {
+		st = s.streamPool[n-1]
+		s.streamPool = s.streamPool[:n-1]
+	} else {
+		st = &genStream{free: make([]*genShell, 0, shellsPerStream)}
+	}
+	st.tb = tb
+	st.shard = s.id
+	st.stage = 0
+	st.m = 0
+	st.iters = s.k.EffItersFor(tb)
+	st.sites = &s.sites
+	st.lent = 0
+	for len(st.free) < shellsPerStream {
+		st.free = append(st.free, s.newShell())
+	}
+	st.advancePastEmpty()
+	s.active++
+	if st.stage == 3 {
+		// A threadblock whose every phase is access-free never fetches;
+		// reclaim immediately.
+		s.reclaim(st)
+		return
+	}
+	s.enqueueWork(st)
+}
+
+func (s *genShard) newShell() *genShell {
+	if n := len(s.shellPool); n > 0 {
+		sh := s.shellPool[n-1]
+		s.shellPool = s.shellPool[:n-1]
+		return sh
+	}
+	sh := &genShell{}
+	if s.bufHint > 0 {
+		sh.txs = make([]trace.Transaction, 0, s.bufHint)
+	}
+	return sh
+}
+
+func (s *genShard) enqueueWork(st *genStream) {
+	if st.inWork || st.stage == 3 || len(st.free) == 0 {
+		return
+	}
+	st.inWork = true
+	s.work = append(s.work, st)
+}
+
+// generateNext fills one shell for the stream at the head of the work
+// queue: the same WarpTransactions/FinalizeBytes sequence (and the same
+// instruction and load accounting) tbExec.execPhase performs inline in
+// the sequential engine.
+func (s *genShard) generateNext() {
+	st := s.work[0]
+	s.work[0] = nil
+	s.work = s.work[1:]
+	if len(s.work) == 0 {
+		s.work = s.work[:0:cap(s.work)]
+	}
+	st.inWork = false
+
+	phase, m := st.phaseAt()
+	sh := st.free[len(st.free)-1]
+	st.free = st.free[:len(st.free)-1]
+	st.lent++
+	s.totalLent++
+
+	sh.tb = st.tb
+	sh.phase = phase
+	sh.m = m
+	sh.stream = st
+	sh.txs = sh.txs[:0]
+	sh.instrs = 0
+	for w := 0; w < s.warps; w++ {
+		var n int
+		sh.txs, n = s.gen.WarpTransactions(st.tb, w, m, phase, sh.txs)
+		sh.instrs += n
+	}
+	s.gen.FinalizeBytes(sh.txs)
+	sh.loads = 0
+	for i := range sh.txs {
+		if sh.txs[i].Mode == kir.Load {
+			sh.loads++
+		}
+	}
+	if c := cap(sh.txs); c > s.bufHint {
+		s.bufHint = c
+	}
+	s.outbox = append(s.outbox, sh)
+
+	st.advance()
+	s.enqueueWork(st)
+}
+
+// takeBack returns a drained shell to its stream, reviving a
+// shell-starved stream or reclaiming a finished one.
+func (s *genShard) takeBack(sh *genShell) {
+	st := sh.stream
+	sh.stream = nil
+	st.free = append(st.free, sh)
+	st.lent--
+	s.totalLent--
+	if st.stage == 3 {
+		if st.lent == 0 {
+			s.reclaim(st)
+		}
+		return
+	}
+	s.enqueueWork(st)
+}
+
+// reclaim recycles an exhausted stream and its shells.
+func (s *genShard) reclaim(st *genStream) {
+	s.shellPool = append(s.shellPool, st.free...)
+	st.free = st.free[:0]
+	s.streamPool = append(s.streamPool, st)
+	s.active--
+}
+
+// phaseAt returns the (phase, m) the stream's cursor points at.
+func (st *genStream) phaseAt() (kir.Phase, int) {
+	switch st.stage {
+	case 0:
+		return kir.PreLoop, 0
+	case 1:
+		return kir.InLoop, st.m
+	default:
+		return kir.PostLoop, st.iters - 1
+	}
+}
+
+// advance moves the cursor to the next phase the commit loop will fetch,
+// mirroring tbExec.phaseDone plus execPhase's empty-phase skip.
+func (st *genStream) advance() {
+	switch st.stage {
+	case 0:
+		st.stage = 1
+	case 1:
+		st.m++
+		if st.m >= st.iters {
+			st.stage = 2
+		}
+	default:
+		st.stage = 3
+	}
+	st.advancePastEmpty()
+}
+
+// advancePastEmpty skips phases with no access sites — exactly the phases
+// for which execPhase finishes without fetching.
+func (st *genStream) advancePastEmpty() {
+	for st.stage < 3 {
+		phase, _ := st.phaseAt()
+		if st.sites[phase] > 0 {
+			return
+		}
+		switch st.stage {
+		case 0:
+			st.stage = 1
+		case 1:
+			// Site counts are per-phase constants: an empty InLoop phase is
+			// empty for every m, so skip the whole loop.
+			st.stage = 2
+		default:
+			st.stage = 3
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ladm/internal/arch"
+	"ladm/internal/kernels"
+	"ladm/internal/kir"
+	"ladm/internal/runtime"
+	"ladm/internal/simtel"
+	"ladm/internal/stats"
+)
+
+// simulatePar runs one workload with the parallel event core at the given
+// degree.
+func simulatePar(t *testing.T, w *kir.Workload, cfg arch.Config,
+	pol runtime.Policy, degree int) *stats.Run {
+	t.Helper()
+	plan, err := runtime.Prepare(w, &cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Parallel = degree
+	run, err := New(plan).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func marshalRun(t *testing.T, r *stats.Run) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelLockstepEquivalence is the tentpole's acceptance proof: the
+// parallel event core must produce a byte-identical stats.Run at every
+// degree, across regular and irregular workloads, multiple scales, and
+// both placement families. The irregular cases matter most — pagerank's
+// per-TB trip counts and random-loc's table-resolved indirect accesses
+// exercise the full generator surface the shards took over.
+func TestParallelLockstepEquivalence(t *testing.T) {
+	irregular := func(name string, scale int) *kir.Workload {
+		spec, err := kernels.ByName(name, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec.W
+	}
+	cases := []struct {
+		name string
+		w    *kir.Workload
+		cfg  arch.Config
+		pol  runtime.Policy
+	}{
+		{"vecadd64_ladm", vecAdd(64), arch.DefaultHierarchical(), runtime.LADM()},
+		{"vecadd256_ladm", vecAdd(256), arch.DefaultHierarchical(), runtime.LADM()},
+		{"strided256_rr", stridedScan(256, 8), arch.DefaultHierarchical(), runtime.BaselineRR()},
+		{"strided64_rr", stridedScan(64, 4), arch.DefaultHierarchical(), runtime.BaselineRR()},
+		{"pagerank_ladm", irregular("pagerank", 24), arch.DefaultHierarchical(), runtime.LADM()},
+		{"randomloc_hcoda", irregular("random-loc", 24), arch.DefaultHierarchical(), runtime.HCODA()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := marshalRun(t, simulate(t, tc.w, tc.cfg, tc.pol))
+			for _, degree := range []int{2, 3, 4} {
+				got := marshalRun(t, simulatePar(t, tc.w, tc.cfg, tc.pol, degree))
+				if !bytes.Equal(got, want) {
+					t.Errorf("degree %d diverged from sequential:\nseq %s\npar %s",
+						degree, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesGoldenRecords replays the seed's golden run records
+// through the parallel core: not just parallel == sequential today, but
+// parallel == the pinned seed behavior.
+func TestParallelMatchesGoldenRecords(t *testing.T) {
+	cases := []struct {
+		name string
+		w    *kir.Workload
+		cfg  arch.Config
+		pol  runtime.Policy
+	}{
+		{"vecadd64_ladm", vecAdd(64), arch.DefaultHierarchical(), runtime.LADM()},
+		{"vecadd256_ladm", vecAdd(256), arch.DefaultHierarchical(), runtime.LADM()},
+		{"strided256_rr", stridedScan(256, 8), arch.DefaultHierarchical(), runtime.BaselineRR()},
+		{"vecadd256_mono", vecAdd(256), arch.MonolithicGPU(), runtime.KernelWide()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := simulatePar(t, tc.w, tc.cfg, tc.pol, 4)
+			got, err := json.MarshalIndent(run, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			want, err := os.ReadFile(filepath.Join("testdata", "run_"+tc.name+".golden.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("parallel run differs from the seed golden\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestParallelStealEquivalence: threadblock stealing stays deterministic
+// under the parallel core — the steal decision is taken by the commit
+// loop in event order, and the shards generate for whatever binding it
+// chose.
+func TestParallelStealEquivalence(t *testing.T) {
+	pol := runtime.LADM()
+	pol.Name = "ladm-steal"
+	pol.StealTBs = true
+	w := stridedScan(192, 6)
+	cfg := arch.DefaultHierarchical()
+	want := marshalRun(t, simulate(t, w, cfg, pol))
+	got := marshalRun(t, simulatePar(t, w, cfg, pol, 4))
+	if !bytes.Equal(got, want) {
+		t.Errorf("steal + parallel diverged:\nseq %s\npar %s", want, got)
+	}
+}
+
+// TestParallelDegreeClamp: degrees beyond the node count clamp to the
+// node count, and a single-node machine (or degree 1) falls back to the
+// plain sequential path with no shard machinery at all.
+func TestParallelDegreeClamp(t *testing.T) {
+	w := vecAdd(128)
+
+	mono := arch.MonolithicGPU()
+	want := marshalRun(t, simulate(t, w, mono, runtime.KernelWide()))
+	got := marshalRun(t, simulatePar(t, w, mono, runtime.KernelWide(), 8))
+	if !bytes.Equal(got, want) {
+		t.Error("parallel degree on a monolithic machine changed the record")
+	}
+	plan, err := runtime.Prepare(w, &mono, runtime.KernelWide())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Parallel = 8
+	if e := New(plan); e.par != nil {
+		t.Error("single-node machine built a parallel core")
+	}
+
+	hier := arch.DefaultHierarchical()
+	plan, err = runtime.Prepare(w, &hier, runtime.LADM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Parallel = 1024
+	e := New(plan)
+	if e.par == nil {
+		t.Fatal("no parallel core despite degree > 1")
+	}
+	if e.par.degree != hier.Nodes() {
+		t.Errorf("degree = %d, want clamp to %d nodes", e.par.degree, hier.Nodes())
+	}
+	seq := marshalRun(t, simulate(t, w, hier, runtime.LADM()))
+	run, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalRun(t, run), seq) {
+		t.Error("clamped over-degree run diverged from sequential")
+	}
+}
+
+// TestParallelTelemetryParity: telemetry stays a pure observer under the
+// parallel core — the sampled series and the run record match the
+// sequential instrumented run byte for byte, and instrumentation does not
+// perturb the parallel timing either.
+func TestParallelTelemetryParity(t *testing.T) {
+	w := stridedScan(256, 8)
+	cfg := arch.DefaultHierarchical()
+	pol := runtime.BaselineRR()
+
+	capture := func(degree int) (rec, series []byte) {
+		plan, err := runtime.Prepare(w, &cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tel := simtel.New(simtel.Config{SampleEvery: 250, Trace: true})
+		plan.Tel = tel
+		plan.Parallel = degree
+		run, err := New(plan).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s bytes.Buffer
+		if err := tel.Series().WriteJSON(&s); err != nil {
+			t.Fatal(err)
+		}
+		return marshalRun(t, run), s.Bytes()
+	}
+
+	seqRec, seqSeries := capture(1)
+	parRec, parSeries := capture(4)
+	if !bytes.Equal(parRec, seqRec) {
+		t.Errorf("instrumented records diverge:\nseq %s\npar %s", seqRec, parRec)
+	}
+	if !bytes.Equal(parSeries, seqSeries) {
+		t.Error("telemetry series diverge between sequential and parallel")
+	}
+
+	plain := marshalRun(t, simulatePar(t, w, cfg, pol, 4))
+	bare := marshalRun(t, simulate(t, w, cfg, pol))
+	if !bytes.Equal(plain, bare) {
+		t.Error("uninstrumented parallel run diverged from sequential")
+	}
+}
+
+// TestParallelInterruptDeterminism covers cancellation across the shard
+// boundary: an already-closed interrupt stops a parallel run early and
+// tears the shards down cleanly (no hang under -race means no leaked
+// goroutine holding a channel), while an armed-but-quiet channel changes
+// nothing about the result.
+func TestParallelInterruptDeterminism(t *testing.T) {
+	// Big enough to cross the interrupt polling granularity (1<<16 events)
+	// well before finishing.
+	w := stridedScan(512, 16)
+	cfg := arch.DefaultHierarchical()
+
+	// Already-cancelled context: the run must stop with ErrInterrupted.
+	plan, err := runtime.Prepare(w, &cfg, runtime.BaselineRR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	plan.Interrupt = ctx.Done()
+	plan.Parallel = 4
+	if _, err := New(plan).Run(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("cancelled parallel run returned %v, want ErrInterrupted", err)
+	}
+
+	// Armed but quiet: byte-identical to the unarmed sequential run.
+	w = stridedScan(256, 8)
+	plan, err = runtime.Prepare(w, &cfg, runtime.BaselineRR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Interrupt = make(chan struct{})
+	plan.Parallel = 4
+	run, err := New(plan).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalRun(t, simulate(t, w, cfg, runtime.BaselineRR()))
+	if !bytes.Equal(marshalRun(t, run), want) {
+		t.Error("armed interrupt perturbed the parallel run")
+	}
+}
+
+// TestParallelRepeatedLaunches drives the epoch barrier: multi-rep and
+// multi-launch workloads rebind the same threadblock ids every
+// repetition, which only works if the barrier fully quiesced the shards
+// in between.
+func TestParallelRepeatedLaunches(t *testing.T) {
+	w := vecAdd(128)
+	w.Launches[0].Times = 3
+	cfg := arch.DefaultHierarchical()
+	want := marshalRun(t, simulate(t, w, cfg, runtime.LADM()))
+	got := marshalRun(t, simulatePar(t, w, cfg, runtime.LADM(), 4))
+	if !bytes.Equal(got, want) {
+		t.Error("multi-rep parallel run diverged from sequential")
+	}
+}
+
+// BenchmarkEngineVecAddParallel is the engine-local twin of the Fig. 9
+// parallel benchmarks: same cell as BenchmarkEngineVecAdd but with the
+// generation shards on. On a multi-core box the ns/op gap between the two
+// is the offload win; on one core they should be close.
+func BenchmarkEngineVecAddParallel(b *testing.B) {
+	w := vecAdd(256)
+	cfg := arch.DefaultHierarchical()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plan, err := runtime.Prepare(w, &cfg, runtime.LADM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan.Parallel = 4
+		if _, err := New(plan).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -27,6 +27,32 @@ func TestJobKeyDeterministic(t *testing.T) {
 	}
 }
 
+// TestJobKeyParallelInvariant pins the sharing contract of the parallel
+// event core: the degree is an execution hint, never job identity, so a
+// parallel request hashes to the same key — and therefore the same cache
+// entry, store record and golden — as its sequential twin, while Resolve
+// still carries the degree through to the engine.
+func TestJobKeyParallelInvariant(t *testing.T) {
+	seq := Request{Workload: "vecadd"}
+	for _, degree := range []int{-1, 0, 1, 4} {
+		par := Request{Workload: "vecadd", Parallel: degree}
+		if par.Key() != seq.Key() {
+			t.Errorf("Parallel=%d changed the JobKey: %s vs %s",
+				degree, par.Key(), seq.Key())
+		}
+	}
+	job, err := Request{Workload: "vecadd", Parallel: 4}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Parallel != 4 {
+		t.Errorf("Resolve dropped the parallel degree: got %d, want 4", job.Parallel)
+	}
+	if job, _ := (Request{Workload: "vecadd", Parallel: -3}).Resolve(); job.Parallel != 0 {
+		t.Errorf("negative degree should normalize to 0, got %d", job.Parallel)
+	}
+}
+
 func TestRequestResolveErrors(t *testing.T) {
 	cases := []Request{
 		{Workload: "nope"},

@@ -187,6 +187,13 @@ func Simulate(w *KernelWorkload, sys System, pol Policy) (*Result, error) {
 // Job names one simulation for a parallel sweep.
 type Job = core.Job
 
+// SimulateJob runs one fully-specified job — including its telemetry
+// collector and the event core's parallel degree (Job.Parallel; every
+// degree yields a byte-identical record).
+func SimulateJob(j Job) (*Result, error) {
+	return core.SimulateJob(j)
+}
+
 // Sweep simulates jobs across CPU cores, returning results in job order.
 func Sweep(jobs []Job, workers int) ([]*Result, error) {
 	return core.Sweep(jobs, workers)
