@@ -11,6 +11,8 @@
 //	ladmbench -experiment fig10 -fidelity auto      # closed-form tier first
 //	ladmbench -experiment tiercheck                 # validate the analytic tier
 //	ladmbench -experiment fig9 -service-trace svc.json  # wall-clock worker trace
+//	ladmbench -experiment fig4 -remote host:9001,host:9002  # fleet campaign
+//	ladmbench -experiment fig4 -remote host:9001 -fault seed=7,error=0.3  # chaos run
 //
 // Experiments: table1 table2 table3 table4 fig4 fig9 fig10 fig11 hwvalid
 // oversub scaling summary tiercheck. Scale divides the paper's input
@@ -29,6 +31,8 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -37,6 +41,8 @@ import (
 	"ladm/internal/analytic"
 	"ladm/internal/core"
 	"ladm/internal/experiments"
+	"ladm/internal/faultinject"
+	"ladm/internal/fleet"
 	"ladm/internal/kernels"
 	"ladm/internal/simsvc"
 	"ladm/internal/stats"
@@ -63,6 +69,13 @@ func main() {
 		"write a wall-clock Chrome/Perfetto trace of the campaign's pool activity (one track per worker, one span per job stage) to this file")
 	parallel := flag.Int("parallel", 1,
 		"parallel degree of the event core per cell (NUMA-node generation shards; records are byte-identical at every degree, so caches and stores are shared)")
+	remote := flag.String("remote", "",
+		"comma-separated ladmserve endpoints to dispatch cells to (retries, hedging, "+
+			"circuit breaking; cells degrade to local execution when no remote is healthy, "+
+			"so results stay byte-identical to a local run)")
+	fault := flag.String("fault", "",
+		"deterministic fault injection on the remote transport, e.g. "+
+			"\"seed=7,error=0.3,reset=0.1,partial=0.1,latency=0.2:50ms\" (requires -remote)")
 	flag.Parse()
 
 	// With -service-trace the pool opens a wall-clock timeline per job;
@@ -106,6 +119,46 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "ladmbench: unknown fidelity %q (valid: event, analytic, auto)\n", *fidelity)
 		os.Exit(1)
+	}
+
+	// -remote inserts the fleet dispatcher above the (possibly
+	// tier-wrapped) local runner: remote-served cells come back
+	// byte-identical, and any remote failure degrades the cell onto
+	// exactly the runner it would have used without -remote — so the
+	// campaign's records never depend on fleet weather. The cache/store
+	// layer wraps the fleet, so cached cells are never sent anywhere.
+	var fl *fleet.Runner
+	var injector *faultinject.Injector
+	if *fault != "" && *remote == "" {
+		fmt.Fprintln(os.Stderr, "ladmbench: -fault requires -remote")
+		os.Exit(1)
+	}
+	if *remote != "" {
+		client := &http.Client{}
+		if *fault != "" {
+			spec, err := faultinject.ParseSpec(*fault)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ladmbench:", err)
+				os.Exit(1)
+			}
+			injector = faultinject.New(spec)
+			client.Transport = &faultinject.Transport{Injector: injector}
+		}
+		var err error
+		fl, err = fleet.New(fleet.Config{
+			Endpoints: strings.Split(*remote, ","),
+			Local:     o.Runner,
+			Scale:     o.Scale,
+			Fidelity:  cacheFidelity,
+			Client:    client,
+			Log:       svcobs.NewLogger(os.Stderr, slog.LevelWarn, false),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ladmbench:", err)
+			os.Exit(1)
+		}
+		defer fl.Close()
+		o.Runner = fl
 	}
 
 	var store *simsvc.DiskStore
@@ -190,6 +243,12 @@ func main() {
 		if store != nil {
 			simsvc.WriteStoreProm(os.Stdout, store.Store.Stats())
 		}
+		if fl != nil {
+			fl.WriteProm(os.Stdout)
+		}
+	}
+	if injector != nil {
+		fmt.Fprintf(os.Stderr, "ladmbench: injected faults: %s\n", injector.Summary())
 	}
 	if obs != nil {
 		f, err := os.Create(*serviceTrace)

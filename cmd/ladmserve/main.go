@@ -9,6 +9,14 @@
 //	ladmserve -retain-jobs 1000 -retain-ttl 1h
 //	ladmserve -store-dir /var/lib/ladm -store-max-bytes 256000000
 //	ladmserve -job-timeout 2m -drain-timeout 30s
+//	ladmserve -remote host:9001,host:9002  # front end over worker instances
+//
+// With -remote, this instance becomes a fleet front end: event-tier
+// jobs dispatch to the listed worker instances with retries, hedging,
+// per-endpoint circuit breaking and /readyz health checks, degrading
+// transparently to the local pool when no remote is healthy. Worker
+// instances run WITHOUT -remote (a worker pointing back at its front
+// end would bounce jobs in a loop).
 //
 // Endpoints:
 //
@@ -33,6 +41,10 @@
 //	GET  /sweeps/{id}          sweep progress snapshot
 //	GET  /sweeps/{id}/events   live sweep progress ticks (SSE)
 //	GET  /metrics  Prometheus text format
+//	GET  /healthz  liveness: the process is up and serving HTTP
+//	GET  /readyz   readiness: 503 (with reasons) while draining, while the
+//	               durable store is degraded, or while the job queue is
+//	               saturated — fleet front ends route on this signal
 //	GET  /statusz  operational snapshot: uptime, pool saturation, queue age,
 //	               in-flight jobs with their lifecycle stage, cache/store hit
 //	               rates, tier mix, slowest recent jobs (?format=html for a
@@ -56,9 +68,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"ladm/internal/fleet"
 	"ladm/internal/simsvc"
 	"ladm/internal/svcobs"
 )
@@ -85,6 +99,11 @@ func main() {
 	logJSON := flag.Bool("log-json", false,
 		"emit structured logs as JSON lines (default: logfmt-style text)")
 	logDebug := flag.Bool("log-debug", false, "log at debug level")
+	remote := flag.String("remote", "",
+		"comma-separated ladmserve endpoints to dispatch jobs to (front-end mode: "+
+			"event-tier jobs fan out with retries, hedging and circuit breaking, and "+
+			"degrade to the local pool when no remote is healthy; worker instances "+
+			"must run WITHOUT -remote)")
 	flag.Parse()
 
 	level := slog.LevelInfo
@@ -119,6 +138,23 @@ func main() {
 		}
 	}
 
+	var fl *fleet.Runner
+	if *remote != "" {
+		var err error
+		fl, err = fleet.New(fleet.Config{
+			Endpoints: strings.Split(*remote, ","),
+			Local:     pool,
+			Log:       logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ladmserve:", err)
+			os.Exit(1)
+		}
+		defer fl.Close()
+		server.SetFleet(fl)
+		logger.Info("ladmserve: fleet dispatch enabled", "endpoints", *remote)
+	}
+
 	root := http.NewServeMux()
 	root.Handle("/", server.Handler())
 	if *pprofOn {
@@ -146,6 +182,9 @@ func main() {
 	go func() {
 		<-stop
 		logger.Info("ladmserve: draining before shutdown", "timeout", (*drainTimeout).String())
+		// Flip readiness first: fleets and load balancers watching
+		// /readyz stop sending new jobs while in-flight ones finish.
+		server.SetDraining(true)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		// Stop accepting, let in-flight requests finish (or hit the drain

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// Breaker tests drive the state machine with synthetic clocks — Allow
+// and Failure take `now` explicitly, so no test here sleeps.
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := newBreaker(3, 50*time.Millisecond, nil)
+	now := time.Now()
+	if b.State() != breakerClosed || !b.Allow(now) {
+		t.Fatalf("new breaker should be closed and admitting")
+	}
+	b.Failure(now)
+	b.Failure(now)
+	if b.State() != breakerClosed {
+		t.Fatalf("below threshold: state = %v, want closed", b.State())
+	}
+	b.Failure(now)
+	if b.State() != breakerOpen {
+		t.Fatalf("at threshold: state = %v, want open", b.State())
+	}
+	if b.Allow(now.Add(10 * time.Millisecond)) {
+		t.Fatalf("open breaker admitted traffic inside the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := newBreaker(2, 50*time.Millisecond, nil)
+	now := time.Now()
+	b.Failure(now)
+	b.Success()
+	b.Failure(now)
+	if b.State() != breakerClosed {
+		t.Fatalf("success did not reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newBreaker(1, 50*time.Millisecond, nil)
+	now := time.Now()
+	b.Failure(now)
+	after := now.Add(60 * time.Millisecond)
+	if !b.Allow(after) {
+		t.Fatalf("cooldown elapsed but probe refused")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow(after) {
+		t.Fatalf("half-open admitted a second probe while the first is in flight")
+	}
+	b.Success()
+	if b.State() != breakerClosed || !b.Allow(after) {
+		t.Fatalf("successful probe should close the circuit")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := newBreaker(1, 50*time.Millisecond, nil)
+	now := time.Now()
+	b.Failure(now)
+	after := now.Add(60 * time.Millisecond)
+	if !b.Allow(after) {
+		t.Fatalf("probe refused")
+	}
+	b.Failure(after)
+	if b.State() != breakerOpen {
+		t.Fatalf("failed probe: state = %v, want open", b.State())
+	}
+	// The failed probe starts a fresh cooldown from its own failure time.
+	if b.Allow(after.Add(40 * time.Millisecond)) {
+		t.Fatalf("reopened breaker admitted traffic before the fresh cooldown elapsed")
+	}
+	if !b.Allow(after.Add(60 * time.Millisecond)) {
+		t.Fatalf("reopened breaker refused the next probe after its cooldown")
+	}
+}
+
+func TestBreakerReleaseFreesProbeSlot(t *testing.T) {
+	b := newBreaker(1, 50*time.Millisecond, nil)
+	now := time.Now()
+	b.Failure(now)
+	after := now.Add(60 * time.Millisecond)
+	if !b.Allow(after) {
+		t.Fatalf("probe refused")
+	}
+	// The probe's call was canceled without a verdict; Release must free
+	// the slot or the circuit wedges half-open forever.
+	b.Release()
+	if !b.Allow(after) {
+		t.Fatalf("released probe slot was not reusable")
+	}
+}
+
+func TestBreakerFailureWhileOpenRefreshesCooldown(t *testing.T) {
+	b := newBreaker(1, 50*time.Millisecond, nil)
+	now := time.Now()
+	b.Failure(now) // open until now+50ms
+	// A straggler admitted before the trip fails at +40ms: the quiet
+	// period restarts from there.
+	b.Failure(now.Add(40 * time.Millisecond))
+	if b.Allow(now.Add(60 * time.Millisecond)) {
+		t.Fatalf("refreshed cooldown did not hold")
+	}
+	if !b.Allow(now.Add(100 * time.Millisecond)) {
+		t.Fatalf("breaker refused a probe after the refreshed cooldown")
+	}
+}
+
+func TestBreakerTransitionCallback(t *testing.T) {
+	var seen []string
+	b := newBreaker(1, 50*time.Millisecond, func(from, to breakerState) {
+		seen = append(seen, from.String()+">"+to.String())
+	})
+	now := time.Now()
+	b.Failure(now)
+	b.Allow(now.Add(60 * time.Millisecond))
+	b.Success()
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if breakerClosed.String() != "closed" || breakerOpen.String() != "open" ||
+		breakerHalfOpen.String() != "half-open" {
+		t.Fatalf("state strings: %q %q %q", breakerClosed, breakerOpen, breakerHalfOpen)
+	}
+	if breakerClosed.gauge() != 0 || breakerOpen.gauge() != 1 || breakerHalfOpen.gauge() != 2 {
+		t.Fatalf("gauge values changed; the fleet_breaker_state metric documents 0/1/2")
+	}
+}

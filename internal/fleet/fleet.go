@@ -1,0 +1,678 @@
+// Package fleet dispatches simulation jobs to remote ladmserve
+// instances over the existing POST /run surface, with the resilience
+// stack a multi-box campaign needs: per-attempt timeouts, capped
+// jittered exponential backoff retries, hedged requests for straggler
+// jobs, a per-endpoint circuit breaker, periodic /readyz health
+// checking, and graceful degradation — when no remote can serve a job,
+// it runs on the local inner Runner instead, so a campaign never fails
+// outright, it just slows down.
+//
+// Every retry, hedge and failover is idempotent by construction:
+// simsvc jobs are pure content-hashed values, so executing one twice
+// (or on two boxes at once) produces byte-identical records. That
+// purity is what lets this layer be aggressive — the worst a duplicated
+// attempt can cost is wasted work, never a wrong answer.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ladm/internal/core"
+	"ladm/internal/simsvc"
+	"ladm/internal/stats"
+	"ladm/internal/svcobs"
+)
+
+// Tunable defaults; every Config field of the same name falls back to
+// these when zero.
+const (
+	DefaultAttemptTimeout   = 2 * time.Minute
+	DefaultMaxAttempts      = 3
+	DefaultRetryBase        = 50 * time.Millisecond
+	DefaultRetryMax         = 2 * time.Second
+	DefaultHedgeAfter       = 10 * time.Second
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 5 * time.Second
+	DefaultHealthInterval   = 3 * time.Second
+)
+
+// healthTimeout bounds one /readyz probe.
+const healthTimeout = 2 * time.Second
+
+// maxResponseBytes caps how much of a remote response is read; run
+// records are a few KB, so this is sabotage protection, not a limit.
+const maxResponseBytes = 32 << 20
+
+// Config assembles a fleet Runner.
+type Config struct {
+	// Endpoints are the remote ladmserve base addresses ("host:port" or
+	// full URLs). Required.
+	Endpoints []string
+	// Local is the degrade target: jobs that cannot be served remotely
+	// (unnameable jobs, fleet-wide unhealth, exhausted retries) run
+	// here. Required — degradation is the design, not an option.
+	Local simsvc.Runner
+	// Scale is the input-scale divisor the sweep's jobs were built at
+	// (0 = simsvc.DefaultScale); it is part of every remote request.
+	Scale int
+	// Fidelity is the serving tier stamped on remote requests
+	// ("" = event).
+	Fidelity string
+	// Client performs the HTTP calls (nil = a default client). Tests
+	// and chaos runs wrap its transport with faultinject.Transport.
+	Client *http.Client
+
+	// AttemptTimeout bounds each individual remote call.
+	AttemptTimeout time.Duration
+	// MaxAttempts is the total number of tries per job (first + retries).
+	MaxAttempts int
+	// RetryBase/RetryMax shape the capped jittered exponential backoff
+	// between attempts.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HedgeAfter launches a second attempt on a different endpoint when
+	// the first has not answered within this duration; the first
+	// success wins and the loser is canceled. Negative disables hedging.
+	HedgeAfter time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// endpoint's circuit; BreakerCooldown how long it stays open before
+	// a half-open probe.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HealthInterval paces the background /readyz sweep over all
+	// endpoints. Negative disables health checking (endpoints then rely
+	// on the breaker alone).
+	HealthInterval time.Duration
+	// Concurrency bounds in-flight remote jobs per Sweep call
+	// (0 = 4x endpoints).
+	Concurrency int
+	// Log receives breaker, health and degrade events (nil = discard).
+	// Request-scoped lines carry the svcobs correlation ID.
+	Log *slog.Logger
+}
+
+// endpoint is one remote ladmserve plus its resilience state.
+type endpoint struct {
+	url string
+	br  *breaker
+
+	healthy   atomic.Bool
+	attempts  atomic.Int64
+	failures  atomic.Int64
+	successes atomic.Int64
+	inflight  atomic.Int64
+
+	// breaker transition counters, by destination state.
+	toClosed   atomic.Int64
+	toOpen     atomic.Int64
+	toHalfOpen atomic.Int64
+}
+
+// Runner is the fleet dispatcher. It implements simsvc.Runner (Sweep)
+// for campaign use and simsvc.Fleet (ExecRequest) for the server's
+// per-job path.
+type Runner struct {
+	cfg    Config
+	client *http.Client
+	log    *slog.Logger
+	eps    []*endpoint
+	m      *Metrics
+	sem    chan struct{}
+
+	rr        atomic.Uint64 // round-robin cursor
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New validates the config, starts the health loop, and returns the
+// runner. Call Close when done.
+func New(cfg Config) (*Runner, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, errors.New("fleet: no endpoints configured")
+	}
+	if cfg.Local == nil {
+		return nil, errors.New("fleet: Config.Local (the degrade target) is required")
+	}
+	r := &Runner{cfg: cfg, m: &Metrics{}, stop: make(chan struct{})}
+	r.client = cfg.Client
+	if r.client == nil {
+		r.client = &http.Client{}
+	}
+	r.log = cfg.Log
+	if r.log == nil {
+		r.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = 4 * len(cfg.Endpoints)
+	}
+	r.sem = make(chan struct{}, conc)
+	for _, raw := range cfg.Endpoints {
+		u, err := normalizeEndpoint(raw)
+		if err != nil {
+			return nil, err
+		}
+		ep := &endpoint{url: u}
+		ep.healthy.Store(true)
+		ep.br = newBreaker(r.breakerThreshold(), r.breakerCooldown(), func(from, to breakerState) {
+			switch to {
+			case breakerClosed:
+				ep.toClosed.Add(1)
+			case breakerOpen:
+				ep.toOpen.Add(1)
+			case breakerHalfOpen:
+				ep.toHalfOpen.Add(1)
+			}
+			r.log.Warn("fleet: breaker transition",
+				"endpoint", ep.url, "from", from.String(), "to", to.String())
+		})
+		r.eps = append(r.eps, ep)
+	}
+	if hi := r.healthInterval(); hi > 0 {
+		r.wg.Add(1)
+		go r.healthLoop(hi)
+	}
+	return r, nil
+}
+
+// normalizeEndpoint turns "host:port" into a scheme-qualified base URL.
+func normalizeEndpoint(raw string) (string, error) {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return "", errors.New("fleet: empty endpoint")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil || u.Host == "" {
+		return "", fmt.Errorf("fleet: bad endpoint %q", raw)
+	}
+	return strings.TrimSuffix(s, "/"), nil
+}
+
+// Close stops the health loop. In-flight calls are unaffected.
+func (r *Runner) Close() {
+	r.closeOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// Config getters with defaults.
+func (r *Runner) scale() int {
+	if r.cfg.Scale > 0 {
+		return r.cfg.Scale
+	}
+	return simsvc.DefaultScale
+}
+func (r *Runner) attemptTimeout() time.Duration {
+	if r.cfg.AttemptTimeout > 0 {
+		return r.cfg.AttemptTimeout
+	}
+	return DefaultAttemptTimeout
+}
+func (r *Runner) maxAttempts() int {
+	if r.cfg.MaxAttempts > 0 {
+		return r.cfg.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+func (r *Runner) retryBase() time.Duration {
+	if r.cfg.RetryBase > 0 {
+		return r.cfg.RetryBase
+	}
+	return DefaultRetryBase
+}
+func (r *Runner) retryMax() time.Duration {
+	if r.cfg.RetryMax > 0 {
+		return r.cfg.RetryMax
+	}
+	return DefaultRetryMax
+}
+func (r *Runner) hedgeAfter() time.Duration {
+	if r.cfg.HedgeAfter != 0 {
+		return r.cfg.HedgeAfter // negative disables
+	}
+	return DefaultHedgeAfter
+}
+func (r *Runner) breakerThreshold() int {
+	if r.cfg.BreakerThreshold > 0 {
+		return r.cfg.BreakerThreshold
+	}
+	return DefaultBreakerThreshold
+}
+func (r *Runner) breakerCooldown() time.Duration {
+	if r.cfg.BreakerCooldown > 0 {
+		return r.cfg.BreakerCooldown
+	}
+	return DefaultBreakerCooldown
+}
+func (r *Runner) healthInterval() time.Duration {
+	if r.cfg.HealthInterval != 0 {
+		return r.cfg.HealthInterval // negative disables
+	}
+	return DefaultHealthInterval
+}
+
+// requestFor maps a sweep job onto the registry Request a remote can
+// serve. ok=false (custom workloads, mutated machines, telemetry
+// collectors) keeps the job local — a remote box cannot hold this
+// process's collector, and unnameable jobs have no stable content key.
+func (r *Runner) requestFor(job core.Job) (simsvc.Request, bool) {
+	req, ok := simsvc.RequestForJob(job, r.scale())
+	if !ok {
+		return simsvc.Request{}, false
+	}
+	req.Fidelity = r.cfg.Fidelity
+	req.Parallel = job.Parallel
+	return req.Normalize(), true
+}
+
+// Sweep implements simsvc.Runner: registry-named jobs fan out to the
+// fleet (degrading to Local per job on failure), everything else runs
+// as one local batch. Records return in job order, byte-identical to a
+// pure local sweep — that equivalence is pinned by tests.
+func (r *Runner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, error) {
+	results := make([]*stats.Run, len(jobs))
+	var (
+		localJobs []core.Job
+		localIdx  []int
+		wg        sync.WaitGroup
+		errMu     sync.Mutex
+		firstErr  error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for i, job := range jobs {
+		req, ok := r.requestFor(job)
+		if !ok {
+			localJobs = append(localJobs, job)
+			localIdx = append(localIdx, i)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, job core.Job, req simsvc.Request) {
+			defer wg.Done()
+			select {
+			case r.sem <- struct{}{}:
+			case <-ctx.Done():
+				fail(ctx.Err())
+				return
+			}
+			defer func() { <-r.sem }()
+			run, err := r.ExecRequest(ctx, req, job)
+			if err != nil {
+				fail(err)
+				return
+			}
+			results[i] = run
+		}(i, job, req)
+	}
+	if len(localJobs) > 0 {
+		r.m.localJobs.Add(int64(len(localJobs)))
+		rs, err := r.cfg.Local.Sweep(ctx, localJobs)
+		if err != nil {
+			fail(err)
+		} else {
+			for k, i := range localIdx {
+				results[i] = rs[k]
+			}
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// ExecRequest serves one job through the fleet: remote with retries and
+// hedging, falling back to the Local runner on any remote failure. The
+// degrade decision is universal — whatever went wrong remotely
+// (endpoints down, breakers open, retries exhausted, or the job itself
+// failing), the local runner produces the authoritative outcome, so a
+// fleet campaign's results and errors match a pure local run exactly.
+func (r *Runner) ExecRequest(ctx context.Context, req simsvc.Request, job core.Job) (*stats.Run, error) {
+	run, err := r.runRemote(ctx, req)
+	if err == nil {
+		r.m.remoteJobs.Add(1)
+		if job.Label != "" {
+			// The remote record is canonical (run.Policy = the policy
+			// name); apply the sweep's label exactly as a local runner
+			// would. The record is exclusively ours — fresh off the wire —
+			// so mutating in place is safe.
+			run.Policy = job.Label
+		}
+		return run, nil
+	}
+	if ctx.Err() != nil {
+		// The caller is gone; running locally would just burn a core.
+		return nil, err
+	}
+	r.m.degraded.Add(1)
+	r.log.Warn("fleet: degrading job to local",
+		"workload", req.Workload, "policy", req.Policy, "machine", req.Machine,
+		"error", err.Error(), "request_id", svcobs.RequestIDFrom(ctx))
+	runs, lerr := r.cfg.Local.Sweep(ctx, []core.Job{job})
+	if lerr != nil {
+		return nil, lerr
+	}
+	return runs[0], nil
+}
+
+// errNoEndpoints marks a fleet-wide outage: nothing healthy, nothing
+// admitting traffic.
+var errNoEndpoints = errors.New("no endpoint available (all unhealthy or breakers open)")
+
+// runRemote executes one request against the fleet with retries.
+func (r *Runner) runRemote(ctx context.Context, req simsvc.Request) (*stats.Run, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	attempts := r.maxAttempts()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			r.m.retries.Add(1)
+			if !sleepCtx(ctx, r.backoff(attempt)) {
+				return nil, fmt.Errorf("fleet: remote run %s/%s: %w", req.Workload, req.Policy, ctx.Err())
+			}
+		}
+		ep := r.pick(nil)
+		if ep == nil {
+			if lastErr == nil {
+				lastErr = errNoEndpoints
+			}
+			break
+		}
+		run, err := r.callHedged(ctx, body, ep)
+		if err == nil {
+			return run, nil
+		}
+		lastErr = err
+		var ce *callError
+		if errors.As(err, &ce) && !ce.retryable() {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("fleet: remote run %s/%s failed: %w", req.Workload, req.Policy, lastErr)
+}
+
+// backoff is the capped exponential delay before retry `attempt`
+// (attempt >= 1), jittered to half-to-full so synchronized clients
+// spread out.
+func (r *Runner) backoff(attempt int) time.Duration {
+	d := r.retryBase() << (attempt - 1)
+	if m := r.retryMax(); d > m || d <= 0 {
+		d = m
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// pick returns the next endpoint accepting traffic — healthy and
+// breaker-admitted — round-robin from a shared cursor, or nil when the
+// whole fleet is refusing (the degrade signal). exclude skips an
+// endpoint already serving this job (hedges must diversify).
+func (r *Runner) pick(exclude *endpoint) *endpoint {
+	n := len(r.eps)
+	start := int(r.rr.Add(1))
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		ep := r.eps[(start+i)%n]
+		if ep == exclude || !ep.healthy.Load() {
+			continue
+		}
+		if !ep.br.Allow(now) {
+			continue
+		}
+		return ep
+	}
+	return nil
+}
+
+// callHedged performs one attempt with straggler hedging: if the
+// primary endpoint has not answered within HedgeAfter, a second call
+// races it on a different endpoint; the first success wins and the
+// loser is canceled (its breaker admission released, not failed).
+func (r *Runner) callHedged(ctx context.Context, body []byte, primary *endpoint) (*stats.Run, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		run   *stats.Run
+		ce    *callError
+		hedge bool
+	}
+	results := make(chan result, 2)
+	launch := func(ep *endpoint, hedge bool) {
+		go func() {
+			run, ce := r.call(cctx, body, ep)
+			results <- result{run, ce, hedge}
+		}()
+	}
+	launch(primary, false)
+	inflight := 1
+	var hedgeC <-chan time.Time
+	if d := r.hedgeAfter(); d > 0 && len(r.eps) > 1 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var firstErr *callError
+	for {
+		select {
+		case res := <-results:
+			inflight--
+			if res.ce == nil {
+				if res.hedge {
+					r.m.hedgeWins.Add(1)
+				}
+				return res.run, nil
+			}
+			// Prefer a real verdict over a canceled loser's error.
+			if firstErr == nil || firstErr.canceled {
+				firstErr = res.ce
+			}
+			if inflight == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if ep2 := r.pick(primary); ep2 != nil {
+				r.m.hedges.Add(1)
+				r.log.Info("fleet: hedging straggler",
+					"primary", primary.url, "hedge", ep2.url,
+					"request_id", svcobs.RequestIDFrom(ctx))
+				launch(ep2, true)
+				inflight++
+			}
+		case <-ctx.Done():
+			// Launched goroutines resolve into the buffered channel and
+			// are collected; nothing leaks.
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// errKind classifies a failed call for the retry loop.
+type errKind int
+
+const (
+	// kindRetryable: transport/5xx/decode failures — another attempt
+	// (or endpoint) may succeed.
+	kindRetryable errKind = iota
+	// kindPermanent: the endpoint deterministically rejected the
+	// request (4xx); retrying cannot help.
+	kindPermanent
+	// kindJobFailed: the remote server worked but the job itself
+	// failed; the local degrade run will reproduce the authoritative
+	// error.
+	kindJobFailed
+)
+
+// callError is one attempt's failure, classified.
+type callError struct {
+	kind     errKind
+	endpoint string
+	status   int
+	canceled bool
+	err      error
+}
+
+func (e *callError) Error() string {
+	if e.status != 0 {
+		return fmt.Sprintf("%s answered %d: %v", e.endpoint, e.status, e.err)
+	}
+	return fmt.Sprintf("%s: %v", e.endpoint, e.err)
+}
+
+func (e *callError) Unwrap() error   { return e.err }
+func (e *callError) retryable() bool { return e.kind == kindRetryable }
+
+// call performs one POST /run against one endpoint and classifies the
+// outcome. Exactly one breaker verdict (Success/Failure/Release) is
+// reported per admitted call.
+func (r *Runner) call(ctx context.Context, body []byte, ep *endpoint) (*stats.Run, *callError) {
+	r.m.attempts.Add(1)
+	ep.attempts.Add(1)
+	ep.inflight.Add(1)
+	defer ep.inflight.Add(-1)
+	actx, cancel := context.WithTimeout(ctx, r.attemptTimeout())
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(actx, http.MethodPost, ep.url+"/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, r.fail(ctx, ep, &callError{kind: kindPermanent, endpoint: ep.url, err: err})
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if id := svcobs.RequestIDFrom(ctx); id != "" {
+		httpReq.Header.Set("X-Request-ID", id)
+	}
+	resp, err := r.client.Do(httpReq)
+	if err != nil {
+		return nil, r.fail(ctx, ep, &callError{kind: kindRetryable, endpoint: ep.url, err: err})
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, r.fail(ctx, ep, &callError{
+			kind: kindRetryable, endpoint: ep.url,
+			err: fmt.Errorf("reading response: %w", err)})
+	}
+	var view simsvc.JobView
+	decodeErr := json.Unmarshal(data, &view)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if decodeErr != nil || view.Run == nil || view.Run.Run == nil {
+			return nil, r.fail(ctx, ep, &callError{
+				kind: kindRetryable, endpoint: ep.url,
+				err: fmt.Errorf("malformed 200 response (%d bytes): %v", len(data), decodeErr)})
+		}
+		ep.successes.Add(1)
+		ep.br.Success()
+		return view.Run.Run, nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// The endpoint is alive and rejected the request
+		// deterministically; that is a healthy verdict for the breaker
+		// and a dead end for the retry loop.
+		ep.br.Success()
+		return nil, &callError{kind: kindPermanent, endpoint: ep.url,
+			status: resp.StatusCode, err: errors.New(errText(data))}
+	case decodeErr == nil && view.Status == simsvc.StatusFailed && view.Error != "":
+		// The server worked; the job itself failed. Not the endpoint's
+		// fault, not retryable — the degrade run reproduces the failure
+		// locally with the authoritative error.
+		ep.br.Success()
+		return nil, &callError{kind: kindJobFailed, endpoint: ep.url,
+			status: resp.StatusCode, err: errors.New(view.Error)}
+	default:
+		return nil, r.fail(ctx, ep, &callError{kind: kindRetryable, endpoint: ep.url,
+			status: resp.StatusCode, err: errors.New(errText(data))})
+	}
+}
+
+// fail reports a failed call to the endpoint's breaker — unless the
+// call's own context was canceled (hedge loser, caller gone), in which
+// case the admission is released without a verdict: a canceled call
+// says nothing about endpoint health.
+func (r *Runner) fail(ctx context.Context, ep *endpoint, ce *callError) *callError {
+	if ctx.Err() != nil {
+		ce.canceled = true
+		ep.br.Release()
+		return ce
+	}
+	ep.failures.Add(1)
+	ep.br.Failure(time.Now())
+	return ce
+}
+
+// errText extracts the "error" field of a JSON error body, falling back
+// to a bounded raw prefix.
+func errText(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := strings.TrimSpace(string(data))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	if s == "" {
+		s = "(empty body)"
+	}
+	return s
+}
+
+// Endpoints snapshots per-endpoint health for /statusz.
+func (r *Runner) Endpoints() []simsvc.FleetEndpoint {
+	out := make([]simsvc.FleetEndpoint, len(r.eps))
+	for i, ep := range r.eps {
+		out[i] = simsvc.FleetEndpoint{
+			URL:       ep.url,
+			Healthy:   ep.healthy.Load(),
+			Breaker:   ep.br.State().String(),
+			Attempts:  ep.attempts.Load(),
+			Failures:  ep.failures.Load(),
+			Successes: ep.successes.Load(),
+			InFlight:  ep.inflight.Load(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,624 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ladm/internal/core"
+	"ladm/internal/faultinject"
+	"ladm/internal/kir"
+	"ladm/internal/simsvc"
+	"ladm/internal/stats"
+)
+
+// testSim is a deterministic fake pipeline: the record is a pure
+// function of the job, so local and remote execution must agree
+// bytewise — exactly the invariant the fleet layer leans on.
+func testSim(ctx context.Context, job core.Job) (*stats.Run, error) {
+	return &stats.Run{
+		Workload:   job.Workload.Name,
+		Policy:     job.Policy.Name,
+		Arch:       "hier",
+		Cycles:     float64(1000 + 7*len(job.Workload.Name)),
+		WarpInstrs: uint64(13 * len(job.Policy.Name)),
+	}, nil
+}
+
+// newWorker spins up a remote ladmserve-shaped instance over the fake
+// pipeline and counts the POST /run requests it serves.
+func newWorker(t *testing.T) (*httptest.Server, *simsvc.Server, *atomic.Int64) {
+	t.Helper()
+	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: 2, Simulate: testSim})
+	t.Cleanup(pool.Close)
+	srv := simsvc.NewServer(pool)
+	inner := srv.Handler()
+	var runHits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/run" {
+			runHits.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, srv, &runHits
+}
+
+// testJobs resolves registry-named workload/policy pairs at the default
+// scale — the jobs a fleet can serve remotely.
+func testJobs(t *testing.T, pairs ...[2]string) []core.Job {
+	t.Helper()
+	jobs := make([]core.Job, 0, len(pairs))
+	for _, p := range pairs {
+		req := simsvc.Request{Workload: p[0], Policy: p[1]}.Normalize()
+		job, err := req.Resolve()
+		if err != nil {
+			t.Fatalf("resolve %s/%s: %v", p[0], p[1], err)
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs
+}
+
+// testConfig is the base fleet config for tests: fast retries, hedging
+// and health checking off unless a test opts in.
+func testConfig(local simsvc.Runner, endpoints ...string) Config {
+	return Config{
+		Endpoints:        endpoints,
+		Local:            local,
+		AttemptTimeout:   10 * time.Second,
+		MaxAttempts:      3,
+		RetryBase:        time.Millisecond,
+		RetryMax:         4 * time.Millisecond,
+		HedgeAfter:       -1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+		HealthInterval:   -1,
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestSweepRemoteByteIdentical is the core promise: a fleet sweep over
+// healthy remotes returns records byte-identical to a pure local run —
+// including a labeled job, whose label the fleet applies client-side
+// exactly as a local runner would.
+func TestSweepRemoteByteIdentical(t *testing.T) {
+	tsA, _, hitsA := newWorker(t)
+	tsB, _, hitsB := newWorker(t)
+	local := simsvc.Sequential{Simulate: testSim}
+	fl, err := New(testConfig(local, tsA.URL, tsB.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t,
+		[2]string{"vecadd", "ladm"}, [2]string{"vecadd", "h-coda"},
+		[2]string{"scalarprod", "ladm"}, [2]string{"scalarprod", "baseline-rr"})
+	jobs[0].Label = "variant-a"
+
+	got, err := fl.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+		t.Fatalf("fleet sweep diverged from local:\n got %s\nwant %s", g, w)
+	}
+	s := fl.Snapshot()
+	if s.RemoteJobs != int64(len(jobs)) || s.DegradedJobs != 0 || s.LocalJobs != 0 {
+		t.Fatalf("snapshot = %+v, want all %d jobs remote", s, len(jobs))
+	}
+	if n := hitsA.Load() + hitsB.Load(); n != int64(len(jobs)) {
+		t.Fatalf("workers served %d /run requests, want %d", n, len(jobs))
+	}
+	if hitsA.Load() == 0 || hitsB.Load() == 0 {
+		t.Fatalf("round-robin did not spread load: A=%d B=%d", hitsA.Load(), hitsB.Load())
+	}
+}
+
+// TestSweepUnnameableStaysLocal: jobs with no registry name (custom
+// workloads) must never be sent over the wire — they run as one local
+// batch.
+func TestSweepUnnameableStaysLocal(t *testing.T) {
+	ts, _, hits := newWorker(t)
+	local := simsvc.Sequential{Simulate: testSim}
+	fl, err := New(testConfig(local, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t, [2]string{"vecadd", "ladm"})
+	jobs[0].Workload = &kir.Workload{Name: "custom-gemm"}
+
+	got, err := fl.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := local.Sweep(context.Background(), jobs)
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatalf("local-batch result diverged")
+	}
+	s := fl.Snapshot()
+	if s.LocalJobs != 1 || s.RemoteJobs != 0 || hits.Load() != 0 {
+		t.Fatalf("custom job leaked to the fleet: snapshot %+v, hits %d", s, hits.Load())
+	}
+}
+
+// TestRetryThenSucceed: transient 5xx answers are retried with backoff
+// until the endpoint recovers; no degrade, no breaker trip.
+func TestRetryThenSucceed(t *testing.T) {
+	ts, _, _ := newWorker(t)
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/run" && calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"induced transient failure"}`, http.StatusInternalServerError)
+			return
+		}
+		// Delegate to the healthy worker's handler via reverse proxy of
+		// convenience: re-issue the request against it.
+		proxyTo(w, r, ts.URL)
+	}))
+	defer flaky.Close()
+
+	local := simsvc.Sequential{Simulate: testSim}
+	cfg := testConfig(local, flaky.URL)
+	cfg.BreakerThreshold = 5
+	fl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t, [2]string{"vecadd", "ladm"})
+	got, err := fl.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := local.Sweep(context.Background(), jobs)
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatalf("retried result diverged from local")
+	}
+	s := fl.Snapshot()
+	if s.Retries != 2 || s.Attempts != 3 || s.RemoteJobs != 1 || s.DegradedJobs != 0 {
+		t.Fatalf("snapshot = %+v, want 2 retries, 3 attempts, remote success", s)
+	}
+}
+
+// proxyTo re-issues the incoming request against base and copies the
+// answer back — a minimal pass-through for flaky-then-healthy handlers.
+func proxyTo(w http.ResponseWriter, r *http.Request, base string) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.Path, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	w.WriteHeader(resp.StatusCode)
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	w.Write(buf.Bytes())
+}
+
+// TestBreakerOpensAndDegrades: a persistently failing endpoint trips
+// its breaker; the job degrades to local and the record is still the
+// local truth.
+func TestBreakerOpensAndDegrades(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"wedged"}`, http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+
+	local := simsvc.Sequential{Simulate: testSim}
+	cfg := testConfig(local, dead.URL)
+	cfg.BreakerThreshold = 2
+	cfg.MaxAttempts = 4
+	fl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t, [2]string{"vecadd", "ladm"})
+	got, err := fl.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := local.Sweep(context.Background(), jobs)
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatalf("degraded result diverged from local")
+	}
+	s := fl.Snapshot()
+	if s.DegradedJobs != 1 || s.RemoteJobs != 0 {
+		t.Fatalf("snapshot = %+v, want 1 degraded job", s)
+	}
+	eps := fl.Endpoints()
+	if eps[0].Breaker != "open" || eps[0].Failures != 2 {
+		t.Fatalf("endpoint = %+v, want open breaker after 2 failures", eps[0])
+	}
+}
+
+// TestBreakerRecovers: after the cooldown a half-open probe goes
+// through; a healthy answer closes the circuit and traffic resumes.
+func TestBreakerRecovers(t *testing.T) {
+	ts, _, _ := newWorker(t)
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/run" && calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"rebooting"}`, http.StatusInternalServerError)
+			return
+		}
+		proxyTo(w, r, ts.URL)
+	}))
+	defer flaky.Close()
+
+	local := simsvc.Sequential{Simulate: testSim}
+	cfg := testConfig(local, flaky.URL)
+	cfg.BreakerThreshold = 2
+	cfg.MaxAttempts = 2
+	cfg.BreakerCooldown = 30 * time.Millisecond
+	fl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t, [2]string{"vecadd", "ladm"}, [2]string{"vecadd", "h-coda"})
+
+	// Job 1: both attempts fail, the breaker opens, the job degrades.
+	if _, err := fl.Sweep(context.Background(), jobs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if st := fl.Endpoints()[0].Breaker; st != "open" {
+		t.Fatalf("breaker = %s, want open", st)
+	}
+	time.Sleep(60 * time.Millisecond)
+
+	// Job 2: the half-open probe succeeds and the circuit closes.
+	got, err := fl.Sweep(context.Background(), jobs[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := local.Sweep(context.Background(), jobs[1:])
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatalf("post-recovery result diverged from local")
+	}
+	s := fl.Snapshot()
+	if s.RemoteJobs != 1 || s.DegradedJobs != 1 {
+		t.Fatalf("snapshot = %+v, want 1 degraded then 1 remote", s)
+	}
+	if st := fl.Endpoints()[0].Breaker; st != "closed" {
+		t.Fatalf("breaker = %s after successful probe, want closed", st)
+	}
+}
+
+// TestHedgeWins: a stalled primary is raced by a hedge on another
+// endpoint; the hedge's answer wins and the stall costs only latency.
+func TestHedgeWins(t *testing.T) {
+	fast, _, _ := newWorker(t)
+	done := make(chan struct{})
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server's background read can notice the
+		// client hanging up, then hold until the fleet cancels the loser.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-done:
+		}
+	}))
+	defer stall.Close()
+	defer close(done)
+
+	local := simsvc.Sequential{Simulate: testSim}
+	cfg := testConfig(local, fast.URL, stall.URL)
+	cfg.HedgeAfter = 20 * time.Millisecond
+	fl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	// Round-robin spreads the two jobs' primaries across both endpoints,
+	// so exactly the stall-primary job exercises the hedge path.
+	jobs := testJobs(t, [2]string{"vecadd", "ladm"}, [2]string{"vecadd", "h-coda"})
+	got, err := fl.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := local.Sweep(context.Background(), jobs)
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatalf("hedged sweep diverged from local")
+	}
+	s := fl.Snapshot()
+	if s.Hedges < 1 || s.HedgeWins < 1 {
+		t.Fatalf("snapshot = %+v, want at least one hedge win", s)
+	}
+	if s.RemoteJobs != 2 || s.DegradedJobs != 0 {
+		t.Fatalf("snapshot = %+v, want both jobs served remotely", s)
+	}
+}
+
+// TestDegradeToLocalWhenFleetDown: with every endpoint refusing
+// connections the campaign still completes, locally, with records
+// byte-identical to a pure local run.
+func TestDegradeToLocalWhenFleetDown(t *testing.T) {
+	gone := httptest.NewServer(http.NotFoundHandler())
+	url := gone.URL
+	gone.Close() // connection refused from here on
+
+	local := simsvc.Sequential{Simulate: testSim}
+	cfg := testConfig(local, url)
+	cfg.BreakerThreshold = 2
+	cfg.MaxAttempts = 2
+	fl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t,
+		[2]string{"vecadd", "ladm"}, [2]string{"vecadd", "h-coda"},
+		[2]string{"scalarprod", "ladm"})
+	got, err := fl.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := local.Sweep(context.Background(), jobs)
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatalf("degraded sweep diverged from local")
+	}
+	s := fl.Snapshot()
+	if s.DegradedJobs != int64(len(jobs)) || s.RemoteJobs != 0 {
+		t.Fatalf("snapshot = %+v, want all %d jobs degraded", s, len(jobs))
+	}
+
+	var buf bytes.Buffer
+	fl.WriteProm(&buf)
+	out := buf.String()
+	if !strings.Contains(out, fmt.Sprintf("fleet_degraded_jobs_total %d", len(jobs))) {
+		t.Fatalf("metrics missing degraded count:\n%s", out)
+	}
+	if !strings.Contains(out, "fleet_breaker_state") || !strings.Contains(out, "fleet_endpoint_healthy") {
+		t.Fatalf("metrics missing breaker/health families:\n%s", out)
+	}
+}
+
+// TestJobFailedDegradesWithLocalError: when the remote ran the job and
+// the job itself failed, the fleet does not retry — the local degrade
+// run reproduces the authoritative error.
+func TestJobFailedDegradesWithLocalError(t *testing.T) {
+	failSim := func(ctx context.Context, job core.Job) (*stats.Run, error) {
+		return nil, errors.New("boom: " + job.Workload.Name)
+	}
+	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: 1, Simulate: failSim})
+	t.Cleanup(pool.Close)
+	ts := httptest.NewServer(simsvc.NewServer(pool).Handler())
+	defer ts.Close()
+
+	local := simsvc.Sequential{Simulate: failSim}
+	fl, err := New(testConfig(local, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t, [2]string{"vecadd", "ladm"})
+	_, err = fl.Sweep(context.Background(), jobs)
+	_, wantErr := local.Sweep(context.Background(), jobs)
+	if err == nil || wantErr == nil {
+		t.Fatalf("both runs should fail: fleet=%v local=%v", err, wantErr)
+	}
+	if err.Error() != wantErr.Error() {
+		t.Fatalf("fleet error %q != local error %q", err, wantErr)
+	}
+	s := fl.Snapshot()
+	if s.DegradedJobs != 1 || s.Retries != 0 {
+		t.Fatalf("snapshot = %+v, want 1 degraded job with no retries", s)
+	}
+}
+
+// TestFaultInjectedByteIdentical is the chaos pin: with deterministic
+// error/reset/partial faults on the transport, a fleet sweep still
+// produces records byte-identical to a pure local run — retries,
+// duplicated work and degrades included.
+func TestFaultInjectedByteIdentical(t *testing.T) {
+	tsA, _, _ := newWorker(t)
+	tsB, _, _ := newWorker(t)
+
+	spec, err := faultinject.ParseSpec("seed=7,error=0.2,reset=0.15,partial=0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(spec)
+	client := &http.Client{Transport: &faultinject.Transport{Injector: inj}}
+
+	local := simsvc.Sequential{Simulate: testSim}
+	cfg := testConfig(local, tsA.URL, tsB.URL)
+	cfg.Client = client
+	cfg.MaxAttempts = 5
+	cfg.BreakerThreshold = 100 // keep the circuit out of this test's way
+	fl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t,
+		[2]string{"vecadd", "ladm"}, [2]string{"vecadd", "h-coda"},
+		[2]string{"vecadd", "coda"}, [2]string{"vecadd", "baseline-rr"},
+		[2]string{"scalarprod", "ladm"}, [2]string{"scalarprod", "h-coda"},
+		[2]string{"srad", "ladm"}, [2]string{"blk", "ladm"})
+
+	got, err := fl.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+		t.Fatalf("fault-injected sweep diverged from local:\n got %s\nwant %s", g, w)
+	}
+	if inj.Injected() == 0 {
+		t.Fatalf("fault plane injected nothing; the chaos pin proved nothing")
+	}
+	s := fl.Snapshot()
+	if s.RemoteJobs+s.DegradedJobs != int64(len(jobs)) {
+		t.Fatalf("snapshot = %+v, want remote+degraded == %d", s, len(jobs))
+	}
+}
+
+// TestHealthRoutesAroundDrainingEndpoint: a 503 on /readyz (draining)
+// pulls the endpoint out of rotation before any job is risked on it.
+func TestHealthRoutesAroundDrainingEndpoint(t *testing.T) {
+	tsA, srvA, hitsA := newWorker(t)
+	tsB, _, hitsB := newWorker(t)
+	srvA.SetDraining(true)
+
+	local := simsvc.Sequential{Simulate: testSim}
+	cfg := testConfig(local, tsA.URL, tsB.URL)
+	cfg.HealthInterval = 10 * time.Millisecond
+	fl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		eps := fl.Endpoints()
+		if !eps[0].Healthy && eps[1].Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health checker never marked the draining endpoint: %+v", eps)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	jobs := testJobs(t, [2]string{"vecadd", "ladm"}, [2]string{"vecadd", "h-coda"},
+		[2]string{"scalarprod", "ladm"})
+	if _, err := fl.Sweep(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if hitsA.Load() != 0 {
+		t.Fatalf("draining endpoint served %d jobs, want 0", hitsA.Load())
+	}
+	if hitsB.Load() != int64(len(jobs)) {
+		t.Fatalf("healthy endpoint served %d jobs, want %d", hitsB.Load(), len(jobs))
+	}
+	if fl.Snapshot().HealthTransitions < 1 {
+		t.Fatalf("health transition not counted")
+	}
+}
+
+// TestServerFrontEnd wires a fleet into a simsvc server the way
+// `ladmserve -remote` does and checks a POST /run is served by the
+// remote worker.
+func TestServerFrontEnd(t *testing.T) {
+	worker, _, hits := newWorker(t)
+
+	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: 1, Simulate: testSim})
+	t.Cleanup(pool.Close)
+	front := simsvc.NewServer(pool)
+	fl, err := New(testConfig(pool, worker.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	front.SetFleet(fl)
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`{"workload":"vecadd","policy":"ladm"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("front end answered %d", resp.StatusCode)
+	}
+	var view simsvc.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != simsvc.StatusDone || view.Run == nil || view.Run.Run == nil {
+		t.Fatalf("view = %+v, want a finished run", view)
+	}
+	if view.Run.Run.Workload != "vecadd" {
+		t.Fatalf("run = %+v", view.Run.Run)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("worker served %d runs, want 1", hits.Load())
+	}
+
+	// The front end's /metrics must carry the fleet families.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	if !strings.Contains(buf.String(), "fleet_remote_jobs_total 1") {
+		t.Fatalf("/metrics missing fleet counters:\n%s", buf.String())
+	}
+}
+
+func TestNormalizeEndpoint(t *testing.T) {
+	cases := []struct {
+		in, want string
+		ok       bool
+	}{
+		{"localhost:9001", "http://localhost:9001", true},
+		{"http://box:8080/", "http://box:8080", true},
+		{"https://box:8443", "https://box:8443", true},
+		{" host:1 ", "http://host:1", true},
+		{"", "", false},
+		{"http://", "", false},
+	}
+	for _, c := range cases {
+		got, err := normalizeEndpoint(c.in)
+		if c.ok != (err == nil) || got != c.want {
+			t.Errorf("normalizeEndpoint(%q) = %q, %v; want %q, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Local: simsvc.Sequential{}}); err == nil {
+		t.Fatalf("New without endpoints should fail")
+	}
+	if _, err := New(Config{Endpoints: []string{"h:1"}}); err == nil {
+		t.Fatalf("New without a local runner should fail")
+	}
+}

@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// healthLoop sweeps every endpoint's GET /readyz on a fixed cadence
+// (plus one immediate pass) until Close. Readiness — not liveness — is
+// the routing signal: a draining, store-degraded or saturated server
+// answers 503 and stops receiving new jobs before it starts failing
+// them.
+func (r *Runner) healthLoop(interval time.Duration) {
+	defer r.wg.Done()
+	r.checkAll()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.checkAll()
+		}
+	}
+}
+
+// checkAll probes every endpoint concurrently and records transitions.
+func (r *Runner) checkAll() {
+	var wg sync.WaitGroup
+	for _, ep := range r.eps {
+		wg.Add(1)
+		go func(ep *endpoint) {
+			defer wg.Done()
+			healthy := r.checkOne(ep)
+			if ep.healthy.Swap(healthy) != healthy {
+				r.m.healthTransitions.Add(1)
+				if healthy {
+					r.log.Info("fleet: endpoint healthy", "endpoint", ep.url)
+				} else {
+					r.log.Warn("fleet: endpoint unhealthy", "endpoint", ep.url)
+				}
+			}
+		}(ep)
+	}
+	wg.Wait()
+}
+
+// checkOne probes one endpoint's /readyz through the fleet's client —
+// including any fault-injecting transport, because real health checks
+// cross the same unreliable network the jobs do.
+func (r *Runner) checkOne(ep *endpoint) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), healthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics is the fleet's counter set.
+type Metrics struct {
+	attempts  atomic.Int64 // remote calls sent (including hedges)
+	retries   atomic.Int64 // backoff retries taken
+	hedges    atomic.Int64 // hedge calls launched
+	hedgeWins atomic.Int64 // hedge calls that beat the primary
+
+	remoteJobs atomic.Int64 // jobs served by a remote endpoint
+	localJobs  atomic.Int64 // jobs that were never remote-eligible
+	degraded   atomic.Int64 // jobs that fell back to local after remote failure
+
+	healthTransitions atomic.Int64 // endpoint healthy<->unhealthy flips
+}
+
+// Snapshot is the exported view of the fleet counters.
+type Snapshot struct {
+	Attempts          int64 `json:"attempts"`
+	Retries           int64 `json:"retries"`
+	Hedges            int64 `json:"hedges"`
+	HedgeWins         int64 `json:"hedge_wins"`
+	RemoteJobs        int64 `json:"remote_jobs"`
+	LocalJobs         int64 `json:"local_jobs"`
+	DegradedJobs      int64 `json:"degraded_jobs"`
+	HealthTransitions int64 `json:"health_transitions"`
+}
+
+// Metrics returns the runner's counter set (for tests and embedding).
+func (r *Runner) Metrics() *Metrics { return r.m }
+
+// Snapshot reads every fleet-wide counter at once.
+func (r *Runner) Snapshot() Snapshot {
+	m := r.m
+	return Snapshot{
+		Attempts:          m.attempts.Load(),
+		Retries:           m.retries.Load(),
+		Hedges:            m.hedges.Load(),
+		HedgeWins:         m.hedgeWins.Load(),
+		RemoteJobs:        m.remoteJobs.Load(),
+		LocalJobs:         m.localJobs.Load(),
+		DegradedJobs:      m.degraded.Load(),
+		HealthTransitions: m.healthTransitions.Load(),
+	}
+}
+
+// WriteProm renders the fleet_* metric family in Prometheus text
+// format; ladmserve appends it to /metrics and ladmbench prints it
+// under -metrics.
+func (r *Runner) WriteProm(w io.Writer) {
+	s := r.Snapshot()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("fleet_attempts_total", "Remote call attempts (including hedges).", s.Attempts)
+	counter("fleet_retries_total", "Backoff retries taken.", s.Retries)
+	counter("fleet_hedges_total", "Hedge calls launched for stragglers.", s.Hedges)
+	counter("fleet_hedge_wins_total", "Hedge calls that beat the primary.", s.HedgeWins)
+	counter("fleet_remote_jobs_total", "Jobs served by a remote endpoint.", s.RemoteJobs)
+	counter("fleet_local_jobs_total", "Jobs that were never remote-eligible.", s.LocalJobs)
+	counter("fleet_degraded_jobs_total", "Jobs that fell back to the local runner after remote failure.", s.DegradedJobs)
+	counter("fleet_health_transitions_total", "Endpoint healthy/unhealthy flips observed by the health checker.", s.HealthTransitions)
+
+	fmt.Fprintf(w, "# HELP fleet_endpoint_attempts_total Remote call attempts per endpoint.\n# TYPE fleet_endpoint_attempts_total counter\n")
+	for _, ep := range r.eps {
+		fmt.Fprintf(w, "fleet_endpoint_attempts_total{endpoint=%q} %d\n", ep.url, ep.attempts.Load())
+	}
+	fmt.Fprintf(w, "# HELP fleet_endpoint_failures_total Failed calls per endpoint (canceled calls excluded).\n# TYPE fleet_endpoint_failures_total counter\n")
+	for _, ep := range r.eps {
+		fmt.Fprintf(w, "fleet_endpoint_failures_total{endpoint=%q} %d\n", ep.url, ep.failures.Load())
+	}
+	fmt.Fprintf(w, "# HELP fleet_endpoint_healthy Endpoint readiness as seen by the health checker (1 ready).\n# TYPE fleet_endpoint_healthy gauge\n")
+	for _, ep := range r.eps {
+		v := 0
+		if ep.healthy.Load() {
+			v = 1
+		}
+		fmt.Fprintf(w, "fleet_endpoint_healthy{endpoint=%q} %d\n", ep.url, v)
+	}
+	fmt.Fprintf(w, "# HELP fleet_breaker_state Circuit breaker position per endpoint (0 closed, 1 open, 2 half-open).\n# TYPE fleet_breaker_state gauge\n")
+	for _, ep := range r.eps {
+		fmt.Fprintf(w, "fleet_breaker_state{endpoint=%q} %d\n", ep.url, ep.br.State().gauge())
+	}
+	fmt.Fprintf(w, "# HELP fleet_breaker_transitions_total Breaker transitions per endpoint by destination state.\n# TYPE fleet_breaker_transitions_total counter\n")
+	for _, ep := range r.eps {
+		fmt.Fprintf(w, "fleet_breaker_transitions_total{endpoint=%q,to=\"closed\"} %d\n", ep.url, ep.toClosed.Load())
+		fmt.Fprintf(w, "fleet_breaker_transitions_total{endpoint=%q,to=\"open\"} %d\n", ep.url, ep.toOpen.Load())
+		fmt.Fprintf(w, "fleet_breaker_transitions_total{endpoint=%q,to=\"half-open\"} %d\n", ep.url, ep.toHalfOpen.Load())
+	}
+}

@@ -1,0 +1,69 @@
+package simstore
+
+import (
+	"bytes"
+	"testing"
+
+	"ladm/internal/stats"
+)
+
+// TestRescanSeesOtherProcessWrites is the cross-process sharing
+// contract: two stores open on the same directory, and a record one of
+// them writes becomes visible to the other after Rescan — without
+// reopening.
+func TestRescanSeesOtherProcessWrites(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, Options{})
+	b := openTest(t, dir, Options{})
+
+	payload := []byte(`{"cycles": 99}`)
+	a.Put("aa1234", payload, stats.NewProvenance("proc-a"))
+
+	// B's index predates the write: a plain Get must miss.
+	if _, ok := b.Get("aa1234"); ok {
+		t.Fatalf("store B saw A's write without a rescan; the miss path is untested")
+	}
+	if n := b.Rescan(); n != 1 {
+		t.Fatalf("Rescan = %d, want 1 new record", n)
+	}
+	got, ok := b.Get("aa1234")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("post-rescan Get = %q, %v; want %q, true", got, ok, payload)
+	}
+
+	// Rescan is idempotent: known keys are not re-added or re-counted.
+	if n := b.Rescan(); n != 0 {
+		t.Fatalf("second Rescan = %d, want 0", n)
+	}
+	st := b.Stats()
+	if st.Records != 1 {
+		t.Fatalf("records = %d after rescans, want 1", st.Records)
+	}
+	if want := a.Stats().Bytes; st.Bytes != want {
+		t.Fatalf("bytes = %d after rescans, want %d (single-counted)", st.Bytes, want)
+	}
+}
+
+// TestRescanBothDirections: sharing is symmetric — each store picks up
+// the other's records.
+func TestRescanBothDirections(t *testing.T) {
+	dir := t.TempDir()
+	a := openTest(t, dir, Options{})
+	b := openTest(t, dir, Options{})
+
+	a.Put("aa0001", []byte("from-a"), stats.NewProvenance("proc-a"))
+	b.Put("bb0002", []byte("from-b"), stats.NewProvenance("proc-b"))
+
+	if n := a.Rescan(); n != 1 {
+		t.Fatalf("a.Rescan = %d, want 1", n)
+	}
+	if n := b.Rescan(); n != 1 {
+		t.Fatalf("b.Rescan = %d, want 1", n)
+	}
+	if got, ok := a.Get("bb0002"); !ok || string(got) != "from-b" {
+		t.Fatalf("a.Get(bb0002) = %q, %v", got, ok)
+	}
+	if got, ok := b.Get("aa0001"); !ok || string(got) != "from-a" {
+		t.Fatalf("b.Get(aa0001) = %q, %v", got, ok)
+	}
+}

@@ -196,6 +196,44 @@ func (s *Store) scan() error {
 	})
 }
 
+// Rescan walks objects/ and indexes records written by other processes
+// since Open (or the previous Rescan): the cross-process sharing
+// primitive — two stores on the same directory see each other's
+// completed writes without reopening. Keys already indexed keep their
+// in-memory LRU clock; new keys enter with their file's mtime. Returns
+// the number of records added. A degraded store rescans nothing.
+func (s *Store) Rescan() int {
+	if s.degraded.Load() {
+		return 0
+	}
+	root := filepath.Join(s.dir, objectsDir)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added := 0
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), recExt) {
+			return nil // walk errors degrade to "saw nothing new"
+		}
+		key := strings.TrimSuffix(d.Name(), recExt)
+		if s.index[key] != nil {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with deletion; skip
+		}
+		s.index[key] = &entry{size: info.Size(), atime: info.ModTime()}
+		s.total += info.Size()
+		added++
+		return nil
+	})
+	if added > 0 {
+		s.evictLocked("")
+		s.logf("simstore: rescan indexed %d records written since open", added)
+	}
+	return added
+}
+
 // Healthy reports whether the store is still operating (false once it
 // has degraded to no-op mode after exhausting I/O retries).
 func (s *Store) Healthy() bool { return !s.degraded.Load() }

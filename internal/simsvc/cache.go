@@ -20,6 +20,14 @@ type RunStore interface {
 	PutRun(key JobKey, run *stats.Run)
 }
 
+// Rescanner is the optional RunStore upgrade for stores whose backing
+// directory other processes write to concurrently: Rescan picks up
+// records that appeared since the store last looked, returning how many
+// it found. The cache calls it once per store miss before recomputing.
+type Rescanner interface {
+	Rescan() int
+}
+
 // Cache is a result cache keyed by JobKey with single-flight
 // deduplication: concurrent Do calls for the same key run the underlying
 // job once and share the record. Errors are not cached, so a failed job
@@ -133,7 +141,16 @@ func (c *Cache) Do(ctx context.Context, key JobKey, fn func() (*stats.Run, error
 
 	if store != nil {
 		tl.Mark(svcobs.StageStore)
-		if run, ok := store.GetRun(key); ok {
+		run, ok := store.GetRun(key)
+		if !ok {
+			// Another process sharing the store directory may have
+			// finished this cell since we last scanned it; one rescan is
+			// far cheaper than a recompute.
+			if rs, can := store.(Rescanner); can && rs.Rescan() > 0 {
+				run, ok = store.GetRun(key)
+			}
+		}
+		if ok {
 			e.run = run
 			close(e.done)
 			c.metrics.cached.Add(1)

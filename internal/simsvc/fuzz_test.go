@@ -1,0 +1,75 @@
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ladm/internal/core"
+	"ladm/internal/stats"
+)
+
+// FuzzRequestDecode feeds arbitrary bytes to the POST /run and
+// POST /sweep request decoders — the service's untrusted-input edge,
+// mirror of simstore's FuzzEnvelopeDecode at the disk edge. Whatever a
+// client sends, the server must answer a well-formed status (2xx, or a
+// 4xx/5xx whose body is a JSON {"error": ...}) and never panic. The
+// seed corpus covers valid requests, truncations, type confusions and
+// binary garbage.
+func FuzzRequestDecode(f *testing.F) {
+	pool := NewPool(PoolConfig{Workers: 2, Simulate: func(_ context.Context, j core.Job) (*stats.Run, error) {
+		return &stats.Run{Workload: j.Workload.Name, Policy: j.Policy.Name}, nil
+	}})
+	f.Cleanup(pool.Close)
+	handler := NewServer(pool).Handler()
+
+	seeds := [][]byte{
+		[]byte(`{"workload":"vecadd","policy":"ladm"}`),
+		[]byte(`{"workload":"vecadd","policy":"h-coda","machine":"hier","telemetry":true}`),
+		[]byte(`{"workload":"vecadd","async":true}`),
+		[]byte(`{"workload":"vecadd","fidelity":"auto"}`),
+		[]byte(`{"workloads":["vecadd"],"policies":["ladm","h-coda"]}`),
+		[]byte(`{"workloads":["vecadd"],"machines":["hier"],"async":true}`),
+		[]byte(`{"workload":"nosuch"}`),
+		[]byte(`{"workload":"vecadd","scale":-3}`),
+		[]byte(`{"workload":"vecadd","fidelity":"warp-level"}`),
+		[]byte(`{}`),
+		[]byte(``),
+		[]byte(`{"workload":`),           // truncated mid-value
+		[]byte(`{"workloads":["vecadd"`), // truncated mid-array
+		[]byte(`{"workload":123}`),       // type confusion
+		[]byte(`{"workloads":"vecadd"}`), // scalar where array expected
+		[]byte(`[1,2,3]`),
+		[]byte(`"just a string"`),
+		[]byte("\x00\x01\x02\xff"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, path := range []string{"/run", "/sweep"} {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(data))
+			req.Header.Set("Content-Type", "application/json")
+			rr := httptest.NewRecorder()
+			handler.ServeHTTP(rr, req)
+			switch {
+			case rr.Code >= 200 && rr.Code < 300:
+				// Accepted: the body is a job/sweep view, checked elsewhere.
+			case rr.Code >= 400 && rr.Code < 600:
+				var e struct {
+					Error string `json:"error"`
+				}
+				if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil || e.Error == "" {
+					t.Fatalf("POST %s answered %d with a malformed error body: %q",
+						path, rr.Code, rr.Body.String())
+				}
+			default:
+				t.Fatalf("POST %s answered unexpected status %d", path, rr.Code)
+			}
+		}
+	})
+}

@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ladm/internal/analytic"
+	"ladm/internal/core"
 	"ladm/internal/kernels"
 	"ladm/internal/simtel"
 	"ladm/internal/stats"
@@ -148,6 +151,40 @@ type Server struct {
 
 	// maxBody caps request body size on the POST endpoints.
 	maxBody int64
+
+	// fleet, when non-nil, serves event-tier non-telemetry jobs through
+	// a remote dispatcher before the local pool (internal/fleet,
+	// attached via -remote). Its metrics join /metrics and its
+	// per-endpoint health joins /statusz.
+	fleet Fleet
+
+	// draining flips when shutdown begins: /readyz answers 503 so
+	// upstream fleets stop routing here while in-flight work finishes.
+	draining atomic.Bool
+}
+
+// Fleet is the remote-dispatch seam the server routes jobs through when
+// one is attached (implemented by internal/fleet.Runner; declared here
+// so the fleet package can depend on simsvc without a cycle).
+type Fleet interface {
+	// ExecRequest serves one job remotely, degrading to its local
+	// runner on failure.
+	ExecRequest(ctx context.Context, req Request, job core.Job) (*stats.Run, error)
+	// Endpoints snapshots per-endpoint health for /statusz.
+	Endpoints() []FleetEndpoint
+	// WriteProm renders the fleet_* metric family.
+	WriteProm(w io.Writer)
+}
+
+// FleetEndpoint is one remote endpoint's health as shown on /statusz.
+type FleetEndpoint struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Breaker   string `json:"breaker"`
+	Attempts  int64  `json:"attempts"`
+	Failures  int64  `json:"failures"`
+	Successes int64  `json:"successes"`
+	InFlight  int64  `json:"in_flight"`
 }
 
 // DefaultMaxBody is the request-body cap for POST /run and POST /sweep:
@@ -201,6 +238,15 @@ func (s *Server) SetStore(store *DiskStore) {
 	s.cache.SetStore(store)
 }
 
+// SetFleet attaches a remote-dispatch fleet in front of the local pool
+// for event-tier, non-telemetry jobs. Call before serving; nil detaches.
+func (s *Server) SetFleet(f Fleet) { s.fleet = f }
+
+// SetDraining marks the server as shutting down: /readyz answers 503 so
+// fleets and load balancers stop routing new jobs here, while requests
+// already in flight finish normally.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
 // SetJobTimeout bounds every job's execution (0 = unbounded).
 func (s *Server) SetJobTimeout(d time.Duration) { s.jobTimeout = d }
 
@@ -237,8 +283,53 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/servicetrace", s.handleServiceTrace)
 	return mux
+}
+
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// Orchestrators restart on healthz failure; routing decisions belong to
+// /readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// Readyz is the GET /readyz document: whether this server should
+// receive new jobs, and why not when it shouldn't.
+type Readyz struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Readyz evaluates readiness: not draining, durable store (when
+// attached) healthy, and queue not saturated. Fleets route on this —
+// a server that would only 503 or silently drop results stops
+// receiving jobs before clients notice.
+func (s *Server) Readyz() Readyz {
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	if s.store != nil && !s.store.Store.Stats().Healthy {
+		reasons = append(reasons, "store degraded")
+	}
+	if cap(s.pool.queue) > 0 && int(s.pool.Metrics().depth.Load()) >= cap(s.pool.queue) {
+		reasons = append(reasons, "queue full")
+	}
+	return Readyz{Ready: len(reasons) == 0, Reasons: reasons}
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rz := s.Readyz()
+	code := http.StatusOK
+	if !rz.Ready {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, rz)
 }
 
 // RouteLabel maps a request onto the bounded route set labeling
@@ -248,7 +339,7 @@ func (s *Server) Handler() http.Handler {
 func RouteLabel(r *http.Request) string {
 	path := r.URL.Path
 	switch path {
-	case "/run", "/sweep", "/jobs", "/metrics", "/statusz", "/healthz", "/debug/servicetrace":
+	case "/run", "/sweep", "/jobs", "/metrics", "/statusz", "/healthz", "/readyz", "/debug/servicetrace":
 		return path
 	}
 	if rest, ok := strings.CutPrefix(path, "/jobs/"); ok {
@@ -484,6 +575,20 @@ func (s *Server) execute(ctx context.Context, rec *jobRecord) {
 	}
 	s.setStatus(rec, StatusRunning)
 	exec := s.pool.Exec
+	if s.fleet != nil && rec.req.Fidelity == "" && !rec.req.Telemetry {
+		// Front-end mode: event-tier jobs dispatch to the fleet, which
+		// degrades to this server's own pool when no remote can serve.
+		// Telemetry jobs always run locally — a remote box cannot feed
+		// this process's collector — and fidelity jobs keep their local
+		// tier-decision path (metrics, escalation logging) intact.
+		req := rec.req
+		exec = func(ctx context.Context, job core.Job) (*stats.Run, error) {
+			if tl := svcobs.TimelineFrom(ctx); tl != nil {
+				tl.Mark(svcobs.StageRemote)
+			}
+			return s.fleet.ExecRequest(ctx, req, job)
+		}
+	}
 	if rec.req.Fidelity != "" {
 		// The fidelity tiers route through the two-tier oracle: the
 		// closed-form model answers what it can, and under "auto" the
@@ -986,6 +1091,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP simsvc_tracked_jobs Jobs in the registry.\n# TYPE simsvc_tracked_jobs gauge\nsimsvc_tracked_jobs %d\n", n)
 	if s.store != nil {
 		WriteStoreProm(w, s.store.Store.Stats())
+	}
+	if s.fleet != nil {
+		s.fleet.WriteProm(w)
 	}
 	s.obs.WriteProm(w)
 }

@@ -73,6 +73,7 @@ type Statusz struct {
 	Cache         StatuszCache            `json:"cache"`
 	Store         *StatuszStore           `json:"store,omitempty"`
 	Tier          StatuszTier             `json:"tier"`
+	Fleet         []FleetEndpoint         `json:"fleet,omitempty"`
 	InFlight      []svcobs.TimelineStatus `json:"in_flight"`
 	Slowest       []svcobs.JobSummary     `json:"slowest"`
 }
@@ -129,6 +130,9 @@ func (s *Server) Statusz() Statusz {
 			Misses:  ss.Misses,
 			Writes:  ss.Writes,
 		}
+	}
+	if s.fleet != nil {
+		st.Fleet = s.fleet.Endpoints()
 	}
 	if st.Pool.Running < 0 {
 		st.Pool.Running = 0
@@ -189,7 +193,15 @@ table{border-collapse:collapse} td,th{border:1px solid #ccc;padding:2px 8px;text
 <tr><th>analytic</th><th>escalated</th><th>reasons</th></tr>
 <tr><td>{{.Tier.Analytic}}</td><td>{{.Tier.Escalated}}</td><td>{{range $r, $n := .Tier.Reasons}}{{$r}}={{$n}} {{end}}</td></tr>
 </table>
-<h2>In flight ({{len .InFlight}})</h2>
+{{if .Fleet}}<h2>Fleet endpoints</h2>
+<table>
+<tr><th>endpoint</th><th>health</th><th>breaker</th><th>attempts</th><th>failures</th><th>successes</th><th>in flight</th></tr>
+{{range .Fleet}}<tr><td>{{.URL}}</td>
+<td{{if not .Healthy}} class="warn"{{end}}>{{if .Healthy}}healthy{{else}}unhealthy{{end}}</td>
+<td{{if ne .Breaker "closed"}} class="warn"{{end}}>{{.Breaker}}</td>
+<td>{{.Attempts}}</td><td>{{.Failures}}</td><td>{{.Successes}}</td><td>{{.InFlight}}</td></tr>
+{{end}}</table>
+{{end}}<h2>In flight ({{len .InFlight}})</h2>
 <table>
 <tr><th>job</th><th>request id</th><th>stage</th><th>age</th><th>in stage</th><th>worker</th></tr>
 {{range .InFlight}}<tr><td>{{.Name}}</td><td>{{.RequestID}}</td><td>{{.Stage}}</td>

@@ -84,6 +84,19 @@ func NewDiskStore(dir string, maxBytes int64, tool string, logf func(string, ...
 	return &DiskStore{Store: st, Tel: tel, Tool: tool}, nil
 }
 
+// Rescan picks up records written to the shared store directory by
+// other processes since open (or the previous rescan), returning how
+// many were found. The cache layer calls it on a store miss before
+// paying for a recompute, so two ladmbench campaigns (or a campaign and
+// a server) sharing -store-dir serve each other's finished cells.
+func (d *DiskStore) Rescan() int {
+	n := d.Store.Rescan()
+	if d.Tel != nil {
+		d.Tel.Rescan()
+	}
+	return n
+}
+
 // GetRun returns the record persisted under key, if a valid one exists.
 func (d *DiskStore) GetRun(key JobKey) (*stats.Run, bool) {
 	payload, ok := d.Store.Get(key.String())

@@ -17,6 +17,7 @@ const (
 	StageTier     = "tier_decide" // fidelity-tier assessment and routing
 	StageQueue    = "queue_wait"  // enqueued, waiting for a worker
 	StageCompute  = "compute"     // executing on a worker
+	StageRemote   = "remote"      // dispatched to a fleet endpoint
 	StageSpill    = "spill"       // telemetry spill / write-behind handoff
 	StageRespond  = "respond"     // terminal bookkeeping and response
 )
