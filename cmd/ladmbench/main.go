@@ -13,6 +13,7 @@
 //	ladmbench -experiment fig9 -service-trace svc.json  # wall-clock worker trace
 //	ladmbench -experiment fig4 -remote host:9001,host:9002  # fleet campaign
 //	ladmbench -experiment fig4 -remote host:9001 -fault seed=7,error=0.3  # chaos run
+//	ladmbench -experiment fig4 -remote a:9001,b:9002 -campaign-trace out.json  # merged fleet trace
 //
 // Experiments: table1 table2 table3 table4 fig4 fig9 fig10 fig11 hwvalid
 // oversub scaling summary tiercheck. Scale divides the paper's input
@@ -76,12 +77,21 @@ func main() {
 	fault := flag.String("fault", "",
 		"deterministic fault injection on the remote transport, e.g. "+
 			"\"seed=7,error=0.3,reset=0.1,partial=0.1,latency=0.2:50ms\" (requires -remote)")
+	hedgeAfter := flag.Duration("hedge-after", 0,
+		"launch a hedged attempt on a second endpoint when the first has not "+
+			"answered within this duration (0 = fleet default, negative disables; requires -remote)")
+	campaignTrace := flag.String("campaign-trace", "",
+		"write the campaign's merged distributed trace — client dispatch spans, "+
+			"per-endpoint attempt/hedge spans, and every worker's stitched stage "+
+			"spans — to this Chrome/Perfetto file (requires -remote)")
 	flag.Parse()
 
 	// With -service-trace the pool opens a wall-clock timeline per job;
 	// the spans land on per-worker tracks in the trace written at exit.
+	// -campaign-trace shares the same observer: the fleet dispatcher adds
+	// its client/endpoint tracks and stitched worker spans to it.
 	var obs *svcobs.Observer
-	if *serviceTrace != "" {
+	if *serviceTrace != "" || *campaignTrace != "" {
 		obs = svcobs.NewObserver(nil)
 	}
 
@@ -133,6 +143,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ladmbench: -fault requires -remote")
 		os.Exit(1)
 	}
+	if *campaignTrace != "" && *remote == "" {
+		fmt.Fprintln(os.Stderr, "ladmbench: -campaign-trace requires -remote")
+		os.Exit(1)
+	}
+	if *hedgeAfter != 0 && *remote == "" {
+		fmt.Fprintln(os.Stderr, "ladmbench: -hedge-after requires -remote")
+		os.Exit(1)
+	}
 	if *remote != "" {
 		client := &http.Client{}
 		if *fault != "" {
@@ -144,14 +162,24 @@ func main() {
 			injector = faultinject.New(spec)
 			client.Transport = &faultinject.Transport{Injector: injector}
 		}
+		// The campaign root is the trace every dispatched cell hangs
+		// from: one trace ID for the whole ladmbench invocation.
+		var root svcobs.TraceContext
+		if *campaignTrace != "" {
+			root = svcobs.NewTraceContext()
+			fmt.Fprintf(os.Stderr, "ladmbench: campaign trace id %s\n", root.TraceID)
+		}
 		var err error
 		fl, err = fleet.New(fleet.Config{
-			Endpoints: strings.Split(*remote, ","),
-			Local:     o.Runner,
-			Scale:     o.Scale,
-			Fidelity:  cacheFidelity,
-			Client:    client,
-			Log:       svcobs.NewLogger(os.Stderr, slog.LevelWarn, false),
+			Endpoints:  strings.Split(*remote, ","),
+			Local:      o.Runner,
+			Scale:      o.Scale,
+			Fidelity:   cacheFidelity,
+			Client:     client,
+			HedgeAfter: *hedgeAfter,
+			Log:        svcobs.NewLogger(os.Stderr, slog.LevelWarn, false),
+			Observer:   obs,
+			Trace:      root,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ladmbench:", err)
@@ -250,19 +278,28 @@ func main() {
 	if injector != nil {
 		fmt.Fprintf(os.Stderr, "ladmbench: injected faults: %s\n", injector.Summary())
 	}
-	if obs != nil {
-		f, err := os.Create(*serviceTrace)
+	// Both trace flags drain the same tracer: -service-trace is the local
+	// pool view, -campaign-trace the merged fleet view (they coincide
+	// when both are set, which is fine — one campaign, one trace).
+	writeTrace := func(path, what string) {
+		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ladmbench: service trace: %v\n", err)
+			fmt.Fprintf(os.Stderr, "ladmbench: %s: %v\n", what, err)
 			os.Exit(1)
 		}
 		obs.Tracer.WriteTrace(f)
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "ladmbench: service trace: %v\n", err)
+			fmt.Fprintf(os.Stderr, "ladmbench: %s: %v\n", what, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "ladmbench: service trace: %d events -> %s\n",
-			obs.Tracer.Len(), *serviceTrace)
+		fmt.Fprintf(os.Stderr, "ladmbench: %s: %d events -> %s\n",
+			what, obs.Tracer.Len(), path)
+	}
+	if *serviceTrace != "" {
+		writeTrace(*serviceTrace, "service trace")
+	}
+	if *campaignTrace != "" {
+		writeTrace(*campaignTrace, "campaign trace")
 	}
 }
 

@@ -49,14 +49,26 @@
 //	               in-flight jobs with their lifecycle stage, cache/store hit
 //	               rates, tier mix, slowest recent jobs (?format=html for a
 //	               human-readable page)
+//	GET  /fleetz   cluster snapshot (front-end mode): every worker's
+//	               /statusz + /metrics scraped and merged — queue depths,
+//	               cache/store hit rates, tier mix, breaker states and
+//	               dispatcher-side attempt latencies (?format=html)
 //	GET  /debug/servicetrace  wall-clock service trace (Chrome/Perfetto):
-//	               one track per pool worker, one span per job stage
+//	               one track per pool worker, one span per job stage; in
+//	               front-end mode also one track per fleet endpoint with
+//	               attempt/hedge spans and stitched worker timelines
+//	GET  /debug/timeline/{request-id}  a finished job's compact timeline
+//	               summary by correlation ID (the pull side of the
+//	               X-Ladm-Timeline response header)
 //	GET  /debug/pprof/  host-side CPU/heap profiles (with -pprof)
 //
 // Every request carries a correlation ID: the server honors an incoming
 // X-Request-ID header (or mints one), echoes it on the response, and
 // stamps it on every structured log line the request produces — at the
-// edge, in the pool, in the tier oracle and in the store probes.
+// edge, in the pool, in the tier oracle and in the store probes. It
+// likewise honors (or mints) a W3C traceparent header; in front-end
+// mode each remote attempt re-parents the trace, so a worker's stage
+// timeline knows exactly which dispatch attempt it served.
 package main
 
 import (
@@ -145,6 +157,11 @@ func main() {
 			Endpoints: strings.Split(*remote, ","),
 			Local:     pool,
 			Log:       logger,
+			// The process observer turns on the distributed plane: every
+			// dispatch attempt becomes a span on /debug/servicetrace, and
+			// incoming request traces propagate to the workers as
+			// traceparent headers.
+			Observer: obs,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ladmserve:", err)

@@ -49,13 +49,17 @@ type breaker struct {
 
 	mu        sync.Mutex
 	state     breakerState
+	since     time.Time // when the current state was entered
 	failures  int
 	openUntil time.Time
 	probing   bool
 }
 
 func newBreaker(threshold int, cooldown time.Duration, onTransition func(from, to breakerState)) *breaker {
-	return &breaker{threshold: threshold, cooldown: cooldown, onTransition: onTransition}
+	return &breaker{
+		threshold: threshold, cooldown: cooldown,
+		since: time.Now(), onTransition: onTransition,
+	}
 }
 
 // Allow reports whether a request may be sent now. In the open state it
@@ -136,11 +140,23 @@ func (b *breaker) State() breakerState {
 	return b.state
 }
 
+// StateSince returns the current position and when it was entered —
+// /statusz shows the age so a stuck-open breaker is visible at a
+// glance.
+func (b *breaker) StateSince() (breakerState, time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.since
+}
+
 // transition requires b.mu.
 func (b *breaker) transition(to breakerState) {
 	from := b.state
 	b.state = to
-	if from != to && b.onTransition != nil {
-		b.onTransition(from, to)
+	if from != to {
+		b.since = time.Now()
+		if b.onTransition != nil {
+			b.onTransition(from, to)
+		}
 	}
 }

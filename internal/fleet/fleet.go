@@ -102,6 +102,21 @@ type Config struct {
 	// Log receives breaker, health and degrade events (nil = discard).
 	// Request-scoped lines carry the svcobs correlation ID.
 	Log *slog.Logger
+
+	// Observer, when set, turns on the distributed observability plane:
+	// every attempt, hedge, retry and breaker rejection becomes a span
+	// (or instant) on a per-endpoint track of the observer's service
+	// tracer, and worker-returned timeline summaries are stitched in as
+	// child stage spans — the merged campaign trace. Nil keeps dispatch
+	// completely unobserved (and unconditionally skips the stitching
+	// work), the same zero-cost-when-off contract as the other planes.
+	Observer *svcobs.Observer
+	// Trace is the campaign's root trace context, minted by the caller
+	// (ladmbench -campaign-trace). Jobs whose context does not already
+	// carry a trace (the front-end path injects one per request) become
+	// children of this root. Zero means: mint per-job roots when an
+	// Observer is set, propagate nothing otherwise.
+	Trace svcobs.TraceContext
 }
 
 // endpoint is one remote ladmserve plus its resilience state.
@@ -109,11 +124,15 @@ type endpoint struct {
 	url string
 	br  *breaker
 
-	healthy   atomic.Bool
-	attempts  atomic.Int64
-	failures  atomic.Int64
-	successes atomic.Int64
-	inflight  atomic.Int64
+	healthy atomic.Bool
+	// healthSince is when the health verdict last flipped (unix nanos;
+	// runner start until the first flip) — /statusz shows the age so a
+	// long-unhealthy endpoint is as visible as a stuck breaker.
+	healthSince atomic.Int64
+	attempts    atomic.Int64
+	failures    atomic.Int64
+	successes   atomic.Int64
+	inflight    atomic.Int64
 
 	// breaker transition counters, by destination state.
 	toClosed   atomic.Int64
@@ -125,12 +144,14 @@ type endpoint struct {
 // for campaign use and simsvc.Fleet (ExecRequest) for the server's
 // per-job path.
 type Runner struct {
-	cfg    Config
-	client *http.Client
-	log    *slog.Logger
-	eps    []*endpoint
-	m      *Metrics
-	sem    chan struct{}
+	cfg     Config
+	client  *http.Client
+	log     *slog.Logger
+	obs     *svcobs.Observer
+	eps     []*endpoint
+	m       *Metrics
+	sem     chan struct{}
+	started time.Time
 
 	rr        atomic.Uint64 // round-robin cursor
 	stop      chan struct{}
@@ -147,7 +168,8 @@ func New(cfg Config) (*Runner, error) {
 	if cfg.Local == nil {
 		return nil, errors.New("fleet: Config.Local (the degrade target) is required")
 	}
-	r := &Runner{cfg: cfg, m: &Metrics{}, stop: make(chan struct{})}
+	r := &Runner{cfg: cfg, m: newMetrics(), obs: cfg.Observer,
+		started: time.Now(), stop: make(chan struct{})}
 	r.client = cfg.Client
 	if r.client == nil {
 		r.client = &http.Client{}
@@ -168,6 +190,7 @@ func New(cfg Config) (*Runner, error) {
 		}
 		ep := &endpoint{url: u}
 		ep.healthy.Store(true)
+		ep.healthSince.Store(r.started.UnixNano())
 		ep.br = newBreaker(r.breakerThreshold(), r.breakerCooldown(), func(from, to breakerState) {
 			switch to {
 			case breakerClosed:
@@ -344,6 +367,55 @@ func (r *Runner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, erro
 	return results, nil
 }
 
+// dispatch carries one job's distributed-trace identity through the
+// retry/hedge plumbing: tc is the dispatch span's own context — every
+// remote attempt mints a Child() of it — and parent is the span the
+// dispatch hangs from (the front-end request span or the campaign
+// root). A nil *dispatch means the job is untraced: no spans, no
+// headers, no allocations.
+type dispatch struct {
+	tc     svcobs.TraceContext
+	parent string
+	reqID  string
+}
+
+// newDispatch resolves a job's trace parentage: a context-carried trace
+// (the front-end request path) wins, then the configured campaign root
+// (ladmbench -campaign-trace), then — only when an Observer makes spans
+// worth recording — a fresh per-job root.
+func (r *Runner) newDispatch(ctx context.Context) *dispatch {
+	parent := svcobs.TraceContextFrom(ctx)
+	if !parent.Valid() {
+		parent = r.cfg.Trace
+	}
+	if !parent.Valid() {
+		if r.obs == nil {
+			return nil
+		}
+		parent = svcobs.NewTraceContext()
+	}
+	return &dispatch{tc: parent.Child(), parent: parent.SpanID,
+		reqID: svcobs.RequestIDFrom(ctx)}
+}
+
+// dispatchSpan records the whole job's dispatch span on the campaign's
+// client track: one span per fleet-served job, parenting every attempt.
+func (r *Runner) dispatchSpan(d *dispatch, req simsvc.Request, start time.Time, outcome string) {
+	if d == nil || r.obs == nil {
+		return
+	}
+	args := map[string]any{
+		"trace_id": d.tc.TraceID, "span_id": d.tc.SpanID,
+		"parent_span_id": d.parent, "outcome": outcome,
+		"workload": req.Workload, "policy": req.Policy,
+	}
+	if d.reqID != "" {
+		args["request_id"] = d.reqID
+	}
+	r.obs.Tracer.AddSpan("client", req.Workload+"/"+req.Policy, "dispatch",
+		start, time.Since(start), args)
+}
+
 // ExecRequest serves one job through the fleet: remote with retries and
 // hedging, falling back to the Local runner on any remote failure. The
 // degrade decision is universal — whatever went wrong remotely
@@ -351,9 +423,12 @@ func (r *Runner) Sweep(ctx context.Context, jobs []core.Job) ([]*stats.Run, erro
 // failing), the local runner produces the authoritative outcome, so a
 // fleet campaign's results and errors match a pure local run exactly.
 func (r *Runner) ExecRequest(ctx context.Context, req simsvc.Request, job core.Job) (*stats.Run, error) {
-	run, err := r.runRemote(ctx, req)
+	d := r.newDispatch(ctx)
+	start := time.Now()
+	run, err := r.runRemote(ctx, req, d)
 	if err == nil {
 		r.m.remoteJobs.Add(1)
+		r.dispatchSpan(d, req, start, "remote")
 		if job.Label != "" {
 			// The remote record is canonical (run.Policy = the policy
 			// name); apply the sweep's label exactly as a local runner
@@ -365,6 +440,7 @@ func (r *Runner) ExecRequest(ctx context.Context, req simsvc.Request, job core.J
 	}
 	if ctx.Err() != nil {
 		// The caller is gone; running locally would just burn a core.
+		r.dispatchSpan(d, req, start, "canceled")
 		return nil, err
 	}
 	r.m.degraded.Add(1)
@@ -373,8 +449,10 @@ func (r *Runner) ExecRequest(ctx context.Context, req simsvc.Request, job core.J
 		"error", err.Error(), "request_id", svcobs.RequestIDFrom(ctx))
 	runs, lerr := r.cfg.Local.Sweep(ctx, []core.Job{job})
 	if lerr != nil {
+		r.dispatchSpan(d, req, start, "failed")
 		return nil, lerr
 	}
+	r.dispatchSpan(d, req, start, "degraded")
 	return runs[0], nil
 }
 
@@ -383,7 +461,7 @@ func (r *Runner) ExecRequest(ctx context.Context, req simsvc.Request, job core.J
 var errNoEndpoints = errors.New("no endpoint available (all unhealthy or breakers open)")
 
 // runRemote executes one request against the fleet with retries.
-func (r *Runner) runRemote(ctx context.Context, req simsvc.Request) (*stats.Run, error) {
+func (r *Runner) runRemote(ctx context.Context, req simsvc.Request, d *dispatch) (*stats.Run, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -404,7 +482,7 @@ func (r *Runner) runRemote(ctx context.Context, req simsvc.Request) (*stats.Run,
 			}
 			break
 		}
-		run, err := r.callHedged(ctx, body, ep)
+		run, err := r.callHedged(ctx, body, ep, d, attempt)
 		if err == nil {
 			return run, nil
 		}
@@ -460,6 +538,10 @@ func (r *Runner) pick(exclude *endpoint) *endpoint {
 			continue
 		}
 		if !ep.br.Allow(now) {
+			if r.obs != nil {
+				r.obs.Tracer.AddInstant(ep.url, "breaker-rejected", "fleet", now,
+					map[string]any{"state": ep.br.State().String()})
+			}
 			continue
 		}
 		return ep
@@ -471,7 +553,7 @@ func (r *Runner) pick(exclude *endpoint) *endpoint {
 // primary endpoint has not answered within HedgeAfter, a second call
 // races it on a different endpoint; the first success wins and the
 // loser is canceled (its breaker admission released, not failed).
-func (r *Runner) callHedged(ctx context.Context, body []byte, primary *endpoint) (*stats.Run, error) {
+func (r *Runner) callHedged(ctx context.Context, body []byte, primary *endpoint, d *dispatch, attempt int) (*stats.Run, error) {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type result struct {
@@ -482,7 +564,7 @@ func (r *Runner) callHedged(ctx context.Context, body []byte, primary *endpoint)
 	results := make(chan result, 2)
 	launch := func(ep *endpoint, hedge bool) {
 		go func() {
-			run, ce := r.call(cctx, body, ep)
+			run, ce := r.call(cctx, body, ep, d, attempt, hedge)
 			results <- result{run, ce, hedge}
 		}()
 	}
@@ -565,32 +647,101 @@ func (e *callError) Error() string {
 func (e *callError) Unwrap() error   { return e.err }
 func (e *callError) retryable() bool { return e.kind == kindRetryable }
 
-// call performs one POST /run against one endpoint and classifies the
-// outcome. Exactly one breaker verdict (Success/Failure/Release) is
-// reported per admitted call.
-func (r *Runner) call(ctx context.Context, body []byte, ep *endpoint) (*stats.Run, *callError) {
+// outcomeFor maps an attempt verdict onto the bounded outcome label set
+// of fleet_attempt_seconds.
+func outcomeFor(ce *callError) string {
+	switch {
+	case ce == nil:
+		return OutcomeSuccess
+	case ce.canceled:
+		return OutcomeCanceled
+	case ce.kind == kindPermanent:
+		return OutcomeRejected
+	case ce.kind == kindJobFailed:
+		return OutcomeJobFailed
+	}
+	return OutcomeError
+}
+
+// call performs one POST /run attempt against one endpoint: it mints
+// the attempt's child span, times the wire call, classifies the outcome
+// into the attempt-latency histogram, and — when an Observer is
+// attached — records the attempt span on the endpoint's track and
+// stitches the worker's returned timeline under it.
+func (r *Runner) call(ctx context.Context, body []byte, ep *endpoint, d *dispatch, attempt int, hedge bool) (*stats.Run, *callError) {
 	r.m.attempts.Add(1)
 	ep.attempts.Add(1)
 	ep.inflight.Add(1)
 	defer ep.inflight.Add(-1)
+	var attemptTC svcobs.TraceContext
+	if d != nil {
+		attemptTC = d.tc.Child()
+	}
+	start := time.Now()
+	run, tlWire, ce := r.callOnce(ctx, body, ep, attemptTC)
+	elapsed := time.Since(start)
+	outcome := outcomeFor(ce)
+	r.m.attemptSeconds.Observe(elapsed.Seconds(), ep.url, outcome)
+	if d != nil && r.obs != nil {
+		name := "attempt"
+		if hedge {
+			name = "hedge"
+		}
+		args := map[string]any{
+			"trace_id": attemptTC.TraceID, "span_id": attemptTC.SpanID,
+			"parent_span_id": d.tc.SpanID, "outcome": outcome, "retry": attempt,
+		}
+		if ce == nil {
+			// The successful attempt is the one whose record the caller
+			// keeps — hedge losers and failed tries never are.
+			args["winner"] = true
+		} else if ce.status != 0 {
+			args["status"] = ce.status
+		}
+		r.obs.Tracer.AddSpan(ep.url, name, "fleet", start, elapsed, args)
+		if tlWire != "" {
+			var ts svcobs.TimelineSummary
+			if json.Unmarshal([]byte(tlWire), &ts) == nil {
+				r.obs.Tracer.AddTimeline(ep.url, &ts)
+			}
+		}
+	}
+	return run, ce
+}
+
+// callOnce is the raw wire call: one POST /run, one classified verdict,
+// exactly one breaker report (Success/Failure/Release) per admitted
+// call. On success it also returns the worker's X-Ladm-Timeline header
+// ("" when the worker predates it or tracing is off).
+func (r *Runner) callOnce(ctx context.Context, body []byte, ep *endpoint, attemptTC svcobs.TraceContext) (*stats.Run, string, *callError) {
 	actx, cancel := context.WithTimeout(ctx, r.attemptTimeout())
 	defer cancel()
 	httpReq, err := http.NewRequestWithContext(actx, http.MethodPost, ep.url+"/run", bytes.NewReader(body))
 	if err != nil {
-		return nil, r.fail(ctx, ep, &callError{kind: kindPermanent, endpoint: ep.url, err: err})
+		return nil, "", r.fail(ctx, ep, &callError{kind: kindPermanent, endpoint: ep.url, err: err})
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
-	if id := svcobs.RequestIDFrom(ctx); id != "" {
+	id := svcobs.RequestIDFrom(ctx)
+	if id == "" && attemptTC.Valid() {
+		// Each traced attempt gets its own correlation ID — the attempt
+		// span ID — so GET /debug/timeline/{id} on the worker resolves
+		// this exact attempt, hedges and retries included.
+		id = attemptTC.SpanID
+	}
+	if id != "" {
 		httpReq.Header.Set("X-Request-ID", id)
+	}
+	if attemptTC.Valid() {
+		httpReq.Header.Set(svcobs.TraceparentHeader, attemptTC.Traceparent())
 	}
 	resp, err := r.client.Do(httpReq)
 	if err != nil {
-		return nil, r.fail(ctx, ep, &callError{kind: kindRetryable, endpoint: ep.url, err: err})
+		return nil, "", r.fail(ctx, ep, &callError{kind: kindRetryable, endpoint: ep.url, err: err})
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
-		return nil, r.fail(ctx, ep, &callError{
+		return nil, "", r.fail(ctx, ep, &callError{
 			kind: kindRetryable, endpoint: ep.url,
 			err: fmt.Errorf("reading response: %w", err)})
 	}
@@ -599,29 +750,29 @@ func (r *Runner) call(ctx context.Context, body []byte, ep *endpoint) (*stats.Ru
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		if decodeErr != nil || view.Run == nil || view.Run.Run == nil {
-			return nil, r.fail(ctx, ep, &callError{
+			return nil, "", r.fail(ctx, ep, &callError{
 				kind: kindRetryable, endpoint: ep.url,
 				err: fmt.Errorf("malformed 200 response (%d bytes): %v", len(data), decodeErr)})
 		}
 		ep.successes.Add(1)
 		ep.br.Success()
-		return view.Run.Run, nil
+		return view.Run.Run, resp.Header.Get(svcobs.TimelineHeader), nil
 	case resp.StatusCode >= 400 && resp.StatusCode < 500:
 		// The endpoint is alive and rejected the request
 		// deterministically; that is a healthy verdict for the breaker
 		// and a dead end for the retry loop.
 		ep.br.Success()
-		return nil, &callError{kind: kindPermanent, endpoint: ep.url,
+		return nil, "", &callError{kind: kindPermanent, endpoint: ep.url,
 			status: resp.StatusCode, err: errors.New(errText(data))}
 	case decodeErr == nil && view.Status == simsvc.StatusFailed && view.Error != "":
 		// The server worked; the job itself failed. Not the endpoint's
 		// fault, not retryable — the degrade run reproduces the failure
 		// locally with the authoritative error.
 		ep.br.Success()
-		return nil, &callError{kind: kindJobFailed, endpoint: ep.url,
+		return nil, "", &callError{kind: kindJobFailed, endpoint: ep.url,
 			status: resp.StatusCode, err: errors.New(view.Error)}
 	default:
-		return nil, r.fail(ctx, ep, &callError{kind: kindRetryable, endpoint: ep.url,
+		return nil, "", r.fail(ctx, ep, &callError{kind: kindRetryable, endpoint: ep.url,
 			status: resp.StatusCode, err: errors.New(errText(data))})
 	}
 }
@@ -662,16 +813,20 @@ func errText(data []byte) string {
 
 // Endpoints snapshots per-endpoint health for /statusz.
 func (r *Runner) Endpoints() []simsvc.FleetEndpoint {
+	now := time.Now()
 	out := make([]simsvc.FleetEndpoint, len(r.eps))
 	for i, ep := range r.eps {
+		state, since := ep.br.StateSince()
 		out[i] = simsvc.FleetEndpoint{
-			URL:       ep.url,
-			Healthy:   ep.healthy.Load(),
-			Breaker:   ep.br.State().String(),
-			Attempts:  ep.attempts.Load(),
-			Failures:  ep.failures.Load(),
-			Successes: ep.successes.Load(),
-			InFlight:  ep.inflight.Load(),
+			URL:            ep.url,
+			Healthy:        ep.healthy.Load(),
+			HealthySeconds: now.Sub(time.Unix(0, ep.healthSince.Load())).Seconds(),
+			Breaker:        state.String(),
+			BreakerSeconds: now.Sub(since).Seconds(),
+			Attempts:       ep.attempts.Load(),
+			Failures:       ep.failures.Load(),
+			Successes:      ep.successes.Load(),
+			InFlight:       ep.inflight.Load(),
 		}
 	}
 	return out

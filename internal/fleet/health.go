@@ -37,11 +37,20 @@ func (r *Runner) checkAll() {
 			defer wg.Done()
 			healthy := r.checkOne(ep)
 			if ep.healthy.Swap(healthy) != healthy {
+				now := time.Now()
+				ep.healthSince.Store(now.UnixNano())
 				r.m.healthTransitions.Add(1)
 				if healthy {
 					r.log.Info("fleet: endpoint healthy", "endpoint", ep.url)
 				} else {
 					r.log.Warn("fleet: endpoint unhealthy", "endpoint", ep.url)
+				}
+				if r.obs != nil {
+					verdict := "unhealthy"
+					if healthy {
+						verdict = "healthy"
+					}
+					r.obs.Tracer.AddInstant(ep.url, "health-"+verdict, "fleet", now, nil)
 				}
 			}
 		}(ep)

@@ -4,6 +4,21 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"ladm/internal/svcobs"
+)
+
+// Attempt outcomes labeling fleet_attempt_seconds{endpoint,outcome}.
+// The set is fixed (bounded cardinality): success, error (transport or
+// 5xx — retryable), rejected (a deterministic 4xx), job_failed (the
+// server worked, the job itself failed), canceled (hedge loser or
+// caller gone — no verdict).
+const (
+	OutcomeSuccess   = "success"
+	OutcomeError     = "error"
+	OutcomeRejected  = "rejected"
+	OutcomeJobFailed = "job_failed"
+	OutcomeCanceled  = "canceled"
 )
 
 // Metrics is the fleet's counter set.
@@ -18,7 +33,25 @@ type Metrics struct {
 	degraded   atomic.Int64 // jobs that fell back to local after remote failure
 
 	healthTransitions atomic.Int64 // endpoint healthy<->unhealthy flips
+
+	// attemptSeconds is fleet_attempt_seconds{endpoint,outcome}: the
+	// wall-clock latency of every remote attempt, per endpoint and
+	// verdict — the histogram /fleetz draws its per-endpoint latency
+	// column from.
+	attemptSeconds *svcobs.HistogramVec
 }
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		attemptSeconds: svcobs.NewHistogramVec("fleet_attempt_seconds",
+			"Wall-clock remote attempt latency by endpoint and outcome.",
+			[]string{"endpoint", "outcome"}, nil),
+	}
+}
+
+// AttemptSeconds exposes the attempt-latency histogram family
+// (aggregation views and tests).
+func (m *Metrics) AttemptSeconds() *svcobs.HistogramVec { return m.attemptSeconds }
 
 // Snapshot is the exported view of the fleet counters.
 type Snapshot struct {
@@ -93,4 +126,5 @@ func (r *Runner) WriteProm(w io.Writer) {
 		fmt.Fprintf(w, "fleet_breaker_transitions_total{endpoint=%q,to=\"open\"} %d\n", ep.url, ep.toOpen.Load())
 		fmt.Fprintf(w, "fleet_breaker_transitions_total{endpoint=%q,to=\"half-open\"} %d\n", ep.url, ep.toHalfOpen.Load())
 	}
+	r.m.attemptSeconds.WriteProm(w)
 }

@@ -1,0 +1,334 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ladm/internal/faultinject"
+	"ladm/internal/simsvc"
+	"ladm/internal/simtel"
+	"ladm/internal/svcobs"
+)
+
+// headerTrap wraps a worker and records every traceparent and
+// X-Request-ID that arrives on POST /run.
+type headerTrap struct {
+	mu     sync.Mutex
+	traces []string
+	ids    []string
+}
+
+func (h *headerTrap) record(r *http.Request) {
+	h.mu.Lock()
+	h.traces = append(h.traces, r.Header.Get(svcobs.TraceparentHeader))
+	h.ids = append(h.ids, r.Header.Get("X-Request-ID"))
+	h.mu.Unlock()
+}
+
+func (h *headerTrap) snapshot() (traces, ids []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.traces...), append([]string(nil), h.ids...)
+}
+
+// trappedWorker is a newWorker variant that captures the trace headers
+// of every /run request, with the svcobs middleware installed so the
+// worker-side timeline adopts the propagated context.
+func trappedWorker(t *testing.T) (*httptest.Server, *simsvc.Server, *headerTrap) {
+	t.Helper()
+	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: 2, Simulate: testSim})
+	t.Cleanup(pool.Close)
+	srv := simsvc.NewServer(pool)
+	trap := &headerTrap{}
+	inner := svcobs.Middleware(srv.Observer(), simsvc.RouteLabel, srv.Handler())
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/run" {
+			trap.record(r)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, srv, trap
+}
+
+// spanEvents filters a tracer dump down to (track name by tid, events).
+func trackNames(evs []simtel.Event) map[int]string {
+	names := map[int]string{}
+	for _, ev := range evs {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			names[ev.TID] = ev.Args["name"].(string)
+		}
+	}
+	return names
+}
+
+// TestTracePropagationHedged: under a campaign root, a hedged job's two
+// attempts reach different endpoints carrying sibling spans of one
+// dispatch — same trace ID, distinct attempt span IDs — and the tracer
+// records attempt and hedge spans on both endpoint tracks with the
+// winner marked.
+func TestTracePropagationHedged(t *testing.T) {
+	fast, _, fastTrap := trappedWorker(t)
+	stallTrap := &headerTrap{}
+	done := make(chan struct{})
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/run" {
+			stallTrap.record(r)
+		}
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-done:
+		}
+	}))
+	defer stall.Close()
+	defer close(done)
+
+	obs := svcobs.NewObserver(nil)
+	root := svcobs.NewTraceContext()
+	local := simsvc.Sequential{Simulate: testSim}
+	cfg := testConfig(local, fast.URL, stall.URL)
+	cfg.HedgeAfter = 20 * time.Millisecond
+	cfg.Observer = obs
+	cfg.Trace = root
+	fl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t, [2]string{"vecadd", "ladm"}, [2]string{"vecadd", "h-coda"})
+	if _, err := fl.Sweep(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Snapshot().HedgeWins < 1 {
+		t.Fatalf("snapshot = %+v, want a hedge win", fl.Snapshot())
+	}
+
+	fastTraces, fastIDs := fastTrap.snapshot()
+	stallTraces, _ := stallTrap.snapshot()
+	if len(fastTraces) == 0 || len(stallTraces) == 0 {
+		t.Fatalf("both endpoints should have seen attempts: fast=%d stall=%d",
+			len(fastTraces), len(stallTraces))
+	}
+	seenSpans := map[string]bool{}
+	for _, tp := range append(append([]string(nil), fastTraces...), stallTraces...) {
+		tc, ok := svcobs.ParseTraceparent(tp)
+		if !ok {
+			t.Fatalf("worker received malformed traceparent %q", tp)
+		}
+		if tc.TraceID != root.TraceID {
+			t.Fatalf("attempt left the campaign trace: %s != %s", tc.TraceID, root.TraceID)
+		}
+		if seenSpans[tc.SpanID] {
+			t.Fatalf("attempt span id %s reused across attempts", tc.SpanID)
+		}
+		seenSpans[tc.SpanID] = true
+	}
+	for _, id := range fastIDs {
+		if id == "" {
+			t.Fatal("traced attempt arrived without a correlation ID")
+		}
+	}
+
+	// The hedge loser's span is recorded when its canceled call returns,
+	// which can land just after the sweep itself — wait it out.
+	var byTrack map[string][]simtel.Event
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		evs := obs.Tracer.Events()
+		names := trackNames(evs)
+		byTrack = map[string][]simtel.Event{}
+		for _, ev := range evs {
+			if ev.Ph == "X" || ev.Ph == "i" {
+				byTrack[names[ev.TID]] = append(byTrack[names[ev.TID]], ev)
+			}
+		}
+		if len(byTrack[fast.URL]) > 0 && len(byTrack[stall.URL]) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("missing endpoint-track spans; tracks seen: %v", names)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(byTrack["client"]) == 0 {
+		t.Fatal("no dispatch spans on the client track")
+	}
+	var hedges, winners int
+	for _, track := range []string{fast.URL, stall.URL} {
+		for _, ev := range byTrack[track] {
+			if ev.Name == "hedge" {
+				hedges++
+			}
+			if w, _ := ev.Args["winner"].(bool); w {
+				winners++
+			}
+		}
+	}
+	if hedges == 0 {
+		t.Fatal("hedge attempt left no span")
+	}
+	if winners == 0 {
+		t.Fatal("no attempt span marked as the winner")
+	}
+}
+
+// TestTracePropagationUnderFaults: with deterministic transport faults
+// forcing retries, every attempt still carries a fresh child span of
+// the same campaign trace, and the attempt histogram classifies both
+// the failures and the eventual successes.
+func TestTracePropagationUnderFaults(t *testing.T) {
+	ts, _, trap := trappedWorker(t)
+
+	spec, err := faultinject.ParseSpec("seed=11,error=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(spec)
+
+	obs := svcobs.NewObserver(nil)
+	root := svcobs.NewTraceContext()
+	local := simsvc.Sequential{Simulate: testSim}
+	cfg := testConfig(local, ts.URL)
+	cfg.Client = &http.Client{Transport: &faultinject.Transport{Injector: inj}}
+	cfg.MaxAttempts = 6
+	cfg.BreakerThreshold = 100
+	cfg.Observer = obs
+	cfg.Trace = root
+	fl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t,
+		[2]string{"vecadd", "ladm"}, [2]string{"vecadd", "h-coda"},
+		[2]string{"scalarprod", "ladm"}, [2]string{"srad", "ladm"})
+	got, err := fl.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := local.Sweep(context.Background(), jobs)
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatal("traced fault-injected sweep diverged from local")
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("fault plane injected nothing")
+	}
+
+	traces, _ := trap.snapshot()
+	spans := map[string]bool{}
+	for _, tp := range traces {
+		tc, ok := svcobs.ParseTraceparent(tp)
+		if !ok || tc.TraceID != root.TraceID {
+			t.Fatalf("bad attempt traceparent %q", tp)
+		}
+		spans[tc.SpanID] = true
+	}
+	if len(spans) != len(traces) {
+		t.Fatalf("attempt span ids not unique: %d spans over %d attempts", len(spans), len(traces))
+	}
+
+	var buf bytes.Buffer
+	fl.WriteProm(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `fleet_attempt_seconds_count{endpoint="`+ts.URL+`",outcome="success"}`) {
+		t.Fatalf("attempt histogram missing success outcome:\n%s", out)
+	}
+	if fl.Snapshot().Retries > 0 && !strings.Contains(out, `outcome="error"`) {
+		t.Fatalf("retries happened but no error-outcome attempts recorded:\n%s", out)
+	}
+}
+
+// TestUntracedStaysBare: with no Observer and no campaign root, no
+// trace headers leave the dispatcher and no spans are recorded — the
+// distributed plane is pay-for-use — while the attempt histogram (a
+// plain metric, not a trace) still fills.
+func TestUntracedStaysBare(t *testing.T) {
+	ts, _, trap := trappedWorker(t)
+	local := simsvc.Sequential{Simulate: testSim}
+	fl, err := New(testConfig(local, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t, [2]string{"vecadd", "ladm"})
+	if _, err := fl.Sweep(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	traces, _ := trap.snapshot()
+	for _, tp := range traces {
+		if tp != "" {
+			t.Fatalf("untraced attempt sent traceparent %q", tp)
+		}
+	}
+	var buf bytes.Buffer
+	fl.WriteProm(&buf)
+	if !strings.Contains(buf.String(), "fleet_attempt_seconds_count") {
+		t.Fatalf("attempt histogram should fill without an observer:\n%s", buf.String())
+	}
+}
+
+// TestClusterScrape: the /fleetz aggregation joins the dispatcher's
+// endpoint view (with attempt digests) to every worker's self-reported
+// /statusz and /metrics.
+func TestClusterScrape(t *testing.T) {
+	tsA, _, _ := trappedWorker(t)
+	tsB, _, _ := trappedWorker(t)
+	local := simsvc.Sequential{Simulate: testSim}
+	fl, err := New(testConfig(local, tsA.URL, tsB.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	jobs := testJobs(t, [2]string{"vecadd", "ladm"}, [2]string{"vecadd", "h-coda"})
+	if _, err := fl.Sweep(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	workers := fl.Cluster(context.Background())
+	if len(workers) != 2 {
+		t.Fatalf("cluster has %d workers, want 2", len(workers))
+	}
+	var digests int
+	for _, w := range workers {
+		if w.Error != "" || w.Statusz == nil {
+			t.Fatalf("worker %s scrape failed: %+v", w.URL, w.Error)
+		}
+		if w.Statusz.Jobs.Submitted == 0 {
+			t.Fatalf("worker %s reports no submitted jobs", w.URL)
+		}
+		if _, ok := w.Metrics["simsvc_tracked_jobs"]; !ok {
+			t.Fatalf("worker %s metrics scrape missing scalars: %v", w.URL, w.Metrics)
+		}
+		digests += len(w.Attempts)
+	}
+	if digests == 0 {
+		t.Fatal("no attempt digests after a remote sweep")
+	}
+
+	// An unreachable worker stays listed from the dispatcher's side.
+	gone := httptest.NewServer(http.NotFoundHandler())
+	url := gone.URL
+	gone.Close()
+	cfg := testConfig(local, url)
+	fl2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl2.Close()
+	ws := fl2.Cluster(context.Background())
+	if len(ws) != 1 || ws[0].Error == "" || ws[0].Statusz != nil {
+		t.Fatalf("dead worker should scrape-fail but stay listed: %+v", ws)
+	}
+}

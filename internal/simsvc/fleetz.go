@@ -1,0 +1,172 @@
+package simsvc
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"time"
+
+	"ladm/internal/svcobs"
+)
+
+// FleetAttemptDigest is one (outcome → count, mean latency) row of the
+// dispatcher-side fleet_attempt_seconds histogram for a single
+// endpoint: the latency column /fleetz shows without anyone parsing
+// Prometheus exposition text.
+type FleetAttemptDigest struct {
+	Outcome     string  `json:"outcome"`
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+}
+
+// FleetWorker is one worker's merged view on GET /fleetz: the
+// dispatcher's local endpoint state (health, breaker, attempt digests)
+// joined with what the worker reports about itself (/statusz and the
+// unlabeled scalars of /metrics).
+type FleetWorker struct {
+	FleetEndpoint
+	// Error is why the scrape failed ("" on success) — the worker is
+	// still listed from the dispatcher's side, just without self-report.
+	Error string `json:"error,omitempty"`
+	// Statusz is the worker's own operational snapshot.
+	Statusz *Statusz `json:"statusz,omitempty"`
+	// Metrics holds the unlabeled scalar samples (plain gauges and
+	// counters) of the worker's /metrics exposition.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Attempts is the dispatcher-side attempt-latency digest for this
+	// endpoint, one row per outcome.
+	Attempts []FleetAttemptDigest `json:"attempts,omitempty"`
+}
+
+// FleetzSummary is the cluster roll-up at the top of /fleetz: fleet
+// shape plus the merged load/locality headline numbers from every
+// reachable worker.
+type FleetzSummary struct {
+	Workers      int `json:"workers"`
+	Healthy      int `json:"healthy"`
+	Reachable    int `json:"reachable"`
+	BreakersOpen int `json:"breakers_open"`
+	// Merged across reachable workers:
+	QueueDepth    int64   `json:"queue_depth"`
+	Running       int64   `json:"running"`
+	Submitted     int64   `json:"submitted"`
+	Completed     int64   `json:"completed"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	StoreHits     int64   `json:"store_hits"`
+	StoreMisses   int64   `json:"store_misses"`
+	StoreHitRate  float64 `json:"store_hit_rate"`
+	TierAnalytic  int64   `json:"tier_analytic"`
+	TierEscalated int64   `json:"tier_escalated"`
+}
+
+// Fleetz is the full GET /fleetz document — the cluster-level sibling
+// of /statusz, built by scraping every worker through the dispatcher.
+type Fleetz struct {
+	Service string        `json:"service"`
+	Time    time.Time     `json:"time"`
+	Summary FleetzSummary `json:"summary"`
+	Workers []FleetWorker `json:"workers"`
+}
+
+// buildFleetz rolls the per-worker views up into the cluster summary.
+func buildFleetz(workers []FleetWorker) Fleetz {
+	fz := Fleetz{Service: "ladmserve", Time: time.Now(), Workers: workers}
+	s := &fz.Summary
+	s.Workers = len(workers)
+	for _, w := range workers {
+		if w.Healthy {
+			s.Healthy++
+		}
+		if w.Breaker != "closed" {
+			s.BreakersOpen++
+		}
+		st := w.Statusz
+		if st == nil {
+			continue
+		}
+		s.Reachable++
+		s.QueueDepth += st.Pool.QueueDepth
+		s.Running += st.Pool.Running
+		s.Submitted += st.Jobs.Submitted
+		s.Completed += st.Jobs.Completed
+		s.CacheHits += st.Cache.Hits
+		if st.Store != nil {
+			s.StoreHits += st.Store.Hits
+			s.StoreMisses += st.Store.Misses
+		}
+		s.TierAnalytic += st.Tier.Analytic
+		s.TierEscalated += st.Tier.Escalated
+	}
+	if served := s.CacheHits + s.Completed; served > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(served)
+	}
+	if probes := s.StoreHits + s.StoreMisses; probes > 0 {
+		s.StoreHitRate = float64(s.StoreHits) / float64(probes)
+	}
+	return fz
+}
+
+var fleetzTmpl = template.Must(template.New("fleetz").Funcs(template.FuncMap{
+	"secs":   func(v float64) string { return fmt.Sprintf("%.1fs", v) },
+	"ms":     func(v float64) string { return fmt.Sprintf("%.1fms", v*1000) },
+	"mulpct": func(v float64) float64 { return v * 100 },
+}).Parse(`<!DOCTYPE html>
+<html><head><title>{{.Service}} fleetz</title>
+<style>
+body{font-family:monospace;margin:2em;background:#fafafa;color:#222}
+h1{font-size:1.3em} h2{font-size:1.05em;margin-top:1.4em}
+table{border-collapse:collapse} td,th{border:1px solid #ccc;padding:2px 8px;text-align:left}
+.warn{color:#a40}
+</style></head><body>
+<h1>{{.Service}} — fleet of {{.Summary.Workers}} ({{.Summary.Healthy}} healthy, {{.Summary.Reachable}} reachable)</h1>
+<h2>Cluster</h2>
+<table>
+<tr><th>queue depth</th><th>running</th><th>submitted</th><th>completed</th><th>cache hit rate</th><th>store hit rate</th><th>analytic</th><th>escalated</th><th>breakers not closed</th></tr>
+<tr><td>{{.Summary.QueueDepth}}</td><td>{{.Summary.Running}}</td>
+<td>{{.Summary.Submitted}}</td><td>{{.Summary.Completed}}</td>
+<td>{{printf "%.1f%%" (mulpct .Summary.CacheHitRate)}}</td>
+<td>{{printf "%.1f%%" (mulpct .Summary.StoreHitRate)}}</td>
+<td>{{.Summary.TierAnalytic}}</td><td>{{.Summary.TierEscalated}}</td>
+<td{{if gt .Summary.BreakersOpen 0}} class="warn"{{end}}>{{.Summary.BreakersOpen}}</td></tr>
+</table>
+<h2>Workers</h2>
+<table>
+<tr><th>endpoint</th><th>health</th><th>for</th><th>breaker</th><th>for</th><th>queue</th><th>running</th><th>cache hits</th><th>analytic/escalated</th><th>attempts (dispatcher)</th></tr>
+{{range .Workers}}<tr><td>{{.URL}}</td>
+<td{{if not .Healthy}} class="warn"{{end}}>{{if .Healthy}}healthy{{else}}unhealthy{{end}}</td>
+<td>{{secs .HealthySeconds}}</td>
+<td{{if ne .Breaker "closed"}} class="warn"{{end}}>{{.Breaker}}</td>
+<td>{{secs .BreakerSeconds}}</td>
+{{if .Statusz}}<td>{{.Statusz.Pool.QueueDepth}}/{{.Statusz.Pool.QueueCap}}</td>
+<td>{{.Statusz.Pool.Running}}</td><td>{{.Statusz.Cache.Hits}}</td>
+<td>{{.Statusz.Tier.Analytic}}/{{.Statusz.Tier.Escalated}}</td>
+{{else}}<td colspan="4" class="warn">scrape failed: {{.Error}}</td>{{end}}
+<td>{{range .Attempts}}{{.Outcome}}={{.Count}} ({{ms .MeanSeconds}}) {{end}}</td></tr>
+{{end}}</table>
+</body></html>
+`))
+
+// handleFleetz serves the cluster view. 404 without an attached fleet —
+// a plain worker has no cluster to aggregate.
+func (s *Server) handleFleetz(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no fleet attached (start with -remote to serve /fleetz)"))
+		return
+	}
+	fz := buildFleetz(s.fleet.Cluster(r.Context()))
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, fz)
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := fleetzTmpl.Execute(w, fz); err != nil {
+			svcobs.Log(r.Context()).WarnContext(r.Context(),
+				"simsvc: fleetz render failed", "error", err.Error())
+		}
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (valid: json, html)", r.URL.Query().Get("format")))
+	}
+}

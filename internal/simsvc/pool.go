@@ -204,6 +204,7 @@ func (p *Pool) noteQueued(ctx context.Context, t *Task) {
 			name = t.Job.Workload.Name + "/" + t.Job.Policy.Name
 		}
 		t.tl = p.obs.StartTimeline(name, svcobs.RequestIDFrom(ctx))
+		t.tl.SetTrace(svcobs.TraceContextFrom(ctx))
 		t.ownTL = true
 	}
 	t.tl.Mark(svcobs.StageQueue)

@@ -172,19 +172,28 @@ type Fleet interface {
 	ExecRequest(ctx context.Context, req Request, job core.Job) (*stats.Run, error)
 	// Endpoints snapshots per-endpoint health for /statusz.
 	Endpoints() []FleetEndpoint
+	// Cluster scrapes every endpoint's /statusz and /metrics and merges
+	// them with the dispatcher's own view, for GET /fleetz.
+	Cluster(ctx context.Context) []FleetWorker
 	// WriteProm renders the fleet_* metric family.
 	WriteProm(w io.Writer)
 }
 
 // FleetEndpoint is one remote endpoint's health as shown on /statusz.
 type FleetEndpoint struct {
-	URL       string `json:"url"`
-	Healthy   bool   `json:"healthy"`
-	Breaker   string `json:"breaker"`
-	Attempts  int64  `json:"attempts"`
-	Failures  int64  `json:"failures"`
-	Successes int64  `json:"successes"`
-	InFlight  int64  `json:"in_flight"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// HealthySeconds is how long the health verdict has held — the age
+	// of the last healthy/unhealthy flip (dispatcher start if none yet).
+	HealthySeconds float64 `json:"healthy_seconds"`
+	Breaker        string  `json:"breaker"`
+	// BreakerSeconds is how long the breaker has sat in its current
+	// state; a large value on an open breaker is the stuck-endpoint tell.
+	BreakerSeconds float64 `json:"breaker_seconds"`
+	Attempts       int64   `json:"attempts"`
+	Failures       int64   `json:"failures"`
+	Successes      int64   `json:"successes"`
+	InFlight       int64   `json:"in_flight"`
 }
 
 // DefaultMaxBody is the request-body cap for POST /run and POST /sweep:
@@ -286,7 +295,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/servicetrace", s.handleServiceTrace)
+	mux.HandleFunc("GET /debug/timeline/{id}", s.handleDebugTimeline)
+	mux.HandleFunc("GET /fleetz", s.handleFleetz)
 	return mux
+}
+
+// handleDebugTimeline serves a recently finished job's compact timeline
+// summary by its correlation ID — the pull-side sibling of the
+// X-Ladm-Timeline response header, for stitchers (and humans) arriving
+// after the response is gone.
+func (s *Server) handleDebugTimeline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ts := s.obs.TimelineByRequestID(id)
+	if ts == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no finished timeline for request id %q (unknown or evicted)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, ts)
 }
 
 // handleHealthz is pure liveness: the process is up and serving HTTP.
@@ -339,8 +365,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func RouteLabel(r *http.Request) string {
 	path := r.URL.Path
 	switch path {
-	case "/run", "/sweep", "/jobs", "/metrics", "/statusz", "/healthz", "/readyz", "/debug/servicetrace":
+	case "/run", "/sweep", "/jobs", "/metrics", "/statusz", "/healthz", "/readyz",
+		"/fleetz", "/debug/servicetrace":
 		return path
+	}
+	if rest, ok := strings.CutPrefix(path, "/debug/timeline/"); ok && !strings.Contains(rest, "/") {
+		return "/debug/timeline/{id}"
 	}
 	if rest, ok := strings.CutPrefix(path, "/jobs/"); ok {
 		switch {
@@ -423,6 +453,9 @@ func (s *Server) register(ctx context.Context, req Request) *jobRecord {
 		hub:       newEventHub(s.pool.Metrics()),
 	}
 	rec.tl = s.obs.StartTimeline(rec.id, svcobs.RequestIDFrom(ctx))
+	// Adopt the caller's trace: the job's timeline becomes a child span
+	// of the dispatch attempt (or front-end request) that caused it.
+	rec.tl.SetTrace(svcobs.TraceContextFrom(ctx))
 	s.jobs[rec.id] = rec
 	s.evictLocked(time.Now())
 	s.mu.Unlock()
@@ -749,6 +782,15 @@ func (s *Server) reserve() error {
 }
 
 func (s *Server) respondFinished(w http.ResponseWriter, rec *jobRecord) {
+	// Hand the finished wall-clock timeline back on the response so the
+	// fleet dispatcher can stitch this worker's stage spans into its
+	// campaign trace without a second round trip. Only traced requests
+	// pay for the header — an untraced caller gets a bare response.
+	if ts := rec.tl.Summary(); ts != nil && ts.TraceID != "" {
+		if b, err := json.Marshal(ts); err == nil {
+			w.Header().Set(svcobs.TimelineHeader, string(b))
+		}
+	}
 	v := s.view(rec)
 	switch v.Status {
 	case StatusDone:

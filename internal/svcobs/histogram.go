@@ -156,6 +156,70 @@ func (v *HistogramVec) Observe(value float64, labels ...string) {
 	v.With(labels...).Observe(value)
 }
 
+// HistogramChild is one labeled histogram's (count, sum) snapshot,
+// used by aggregated views (/fleetz) that want means without parsing
+// exposition text.
+type HistogramChild struct {
+	// Labels holds the child's label values in the vec's label order.
+	Labels []string
+	Count  int64
+	Sum    float64
+}
+
+// Children snapshots every child's count and sum, in sorted label
+// order. The label values are recovered from the child key, so they
+// match what With was called with.
+func (v *HistogramVec) Children() []HistogramChild {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]HistogramChild, 0, len(v.keys))
+	for _, key := range v.keys {
+		h := v.children[key]
+		out = append(out, HistogramChild{
+			Labels: parseLabelValues(key, len(v.labels)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		})
+	}
+	return out
+}
+
+// parseLabelValues inverts labelString: `k1="v1",k2="v2"` → [v1 v2].
+// Label values are bounded identifiers (endpoints, outcomes, stages),
+// so the quoted-string parse stays simple: strconv-style unquoting of
+// each `k=%q` segment.
+func parseLabelValues(key string, n int) []string {
+	out := make([]string, 0, n)
+	rest := key
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+			break
+		}
+		rest = rest[eq+2:]
+		end := strings.IndexByte(rest, '"')
+		for end > 0 && rest[end-1] == '\\' {
+			next := strings.IndexByte(rest[end+1:], '"')
+			if next < 0 {
+				end = -1
+				break
+			}
+			end += 1 + next
+		}
+		if end < 0 {
+			break
+		}
+		val := strings.ReplaceAll(strings.ReplaceAll(rest[:end], `\"`, `"`), `\\`, `\`)
+		out = append(out, val)
+		rest = rest[end+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	for len(out) < n {
+		out = append(out, "")
+	}
+	return out
+}
+
 // WriteProm renders every child under one HELP/TYPE header, children in
 // sorted label order. A family with no children is omitted entirely
 // (Prometheus treats absent and empty identically).

@@ -44,8 +44,13 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 //
 //   - accept the client's X-Request-ID (sanitized) or mint one,
 //   - echo it on the response header,
-//   - seed the request context with the ID and the observer's logger so
-//     every layer below logs correlated lines for free,
+//   - accept the client's traceparent (sanitized) or mint a fresh trace,
+//     so worker-side timelines become child spans of the caller's
+//     dispatch attempt — a malformed header falls back to minting,
+//     never to an error,
+//   - seed the request context with the ID, trace context and the
+//     observer's logger so every layer below logs correlated lines for
+//     free,
 //   - capture status and bytes via a wrapped ResponseWriter,
 //   - observe simsvc_http_request_seconds{route,code}, and
 //   - emit one structured access-log line per request.
@@ -60,7 +65,12 @@ func Middleware(obs *Observer, route func(*http.Request) string, next http.Handl
 			id = NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", id)
+		tc, ok := ParseTraceparent(r.Header.Get(TraceparentHeader))
+		if !ok {
+			tc = NewTraceContext()
+		}
 		ctx := WithRequestID(r.Context(), id)
+		ctx = WithTraceContext(ctx, tc)
 		ctx = WithLogger(ctx, obs.Log)
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r.WithContext(ctx))
@@ -82,6 +92,7 @@ func Middleware(obs *Observer, route func(*http.Request) string, next http.Handl
 			slog.Int64("bytes", sw.bytes),
 			slog.Duration("duration", dur),
 			slog.String("remote", r.RemoteAddr),
+			slog.String("trace_id", tc.TraceID),
 		)
 	})
 }

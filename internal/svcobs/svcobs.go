@@ -41,6 +41,7 @@ const (
 	ctxRequestID ctxKey = iota
 	ctxLogger
 	ctxTimeline
+	ctxTrace
 )
 
 // MaxRequestIDLen caps accepted X-Request-ID values; longer (or

@@ -49,6 +49,17 @@ type Timeline struct {
 	curStart time.Time
 	spans    []StageSpan
 	done     bool
+
+	// Distributed-plane identity (zero when the job is untraced): the
+	// trace the job belongs to, the span ID of the dispatch attempt that
+	// caused it, and the timeline's own span ID — the parent every stage
+	// span hangs from in a stitched campaign trace.
+	traceID      string
+	parentSpanID string
+	spanID       string
+	// summary is the compact export built once at Finish, served on the
+	// response header and GET /debug/timeline/{request-id}.
+	summary *TimelineSummary
 }
 
 // Mark closes the current stage and opens the named one. Marking the
@@ -87,6 +98,33 @@ func (t *Timeline) SetTier(tier string) {
 	t.mu.Lock()
 	t.tier = tier
 	t.mu.Unlock()
+}
+
+// SetTrace adopts a caller's trace context: the timeline becomes a
+// child span of tc.SpanID within tc.TraceID and mints its own span ID.
+// An invalid (zero) tc, or a timeline that already adopted one, is a
+// no-op, so layered callers cannot re-parent a job mid-flight.
+func (t *Timeline) SetTrace(tc TraceContext) {
+	if t == nil || !tc.Valid() {
+		return
+	}
+	t.mu.Lock()
+	if t.traceID == "" {
+		t.traceID = tc.TraceID
+		t.parentSpanID = tc.SpanID
+		t.spanID = NewSpanID()
+	}
+	t.mu.Unlock()
+}
+
+// SpanID returns the timeline's own span ID ("" when untraced).
+func (t *Timeline) SpanID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spanID
 }
 
 // RequestID returns the correlation ID the timeline was started with.
@@ -133,6 +171,25 @@ func (t *Timeline) Finish() {
 	for _, sp := range spans {
 		summary.Stages[sp.Stage] += sp.End.Sub(sp.Start).Seconds()
 	}
+	ts := &TimelineSummary{
+		Name:         t.name,
+		RequestID:    t.reqID,
+		TraceID:      t.traceID,
+		SpanID:       t.spanID,
+		ParentSpanID: t.parentSpanID,
+		Tier:         tier,
+		Worker:       t.worker,
+		StartUS:      t.start.UnixMicro(),
+		EndUS:        now.UnixMicro(),
+	}
+	for _, sp := range spans {
+		if d := sp.End.Sub(sp.Start); d > 0 {
+			ts.Stages = append(ts.Stages, StageSummary{
+				Stage: sp.Stage, StartUS: sp.Start.UnixMicro(), DurUS: d.Microseconds(),
+			})
+		}
+	}
+	t.summary = ts
 	obs, worker := t.obs, t.worker
 	t.mu.Unlock()
 
@@ -143,7 +200,45 @@ func (t *Timeline) Finish() {
 		obs.Stage.Observe(secs, stage, tier)
 	}
 	obs.Tracer.addJob(summary.Name, summary.RequestID, tier, worker, spans)
-	obs.finishTimeline(t, summary)
+	obs.finishTimeline(t, summary, ts)
+}
+
+// TimelineSummary is a finished timeline's compact wire form: what a
+// worker hands back to the fleet dispatcher (X-Ladm-Timeline response
+// header, GET /debug/timeline/{request-id}) so campaign traces can
+// stitch the worker's stage spans under the dispatch attempt that
+// caused them. Times are absolute wall-clock microseconds — the
+// stitcher places them on the shared timeline directly, accepting
+// ordinary NTP-level clock skew between boxes.
+type TimelineSummary struct {
+	Name         string         `json:"name"`
+	RequestID    string         `json:"request_id,omitempty"`
+	TraceID      string         `json:"trace_id,omitempty"`
+	SpanID       string         `json:"span_id,omitempty"`
+	ParentSpanID string         `json:"parent_span_id,omitempty"`
+	Tier         string         `json:"tier,omitempty"`
+	Worker       int            `json:"worker"`
+	StartUS      int64          `json:"start_us"`
+	EndUS        int64          `json:"end_us"`
+	Stages       []StageSummary `json:"stages,omitempty"`
+}
+
+// StageSummary is one closed stage in a TimelineSummary.
+type StageSummary struct {
+	Stage   string `json:"stage"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// Summary returns the compact export built at Finish (nil before the
+// timeline finishes, or on a nil timeline).
+func (t *Timeline) Summary() *TimelineSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.summary
 }
 
 // TimelineStatus is the /statusz view of one in-flight job.

@@ -32,14 +32,29 @@ type Tracer struct {
 	events []simtel.Event
 	tracks map[int]bool // thread-name metadata already emitted, by tid
 	drops  int64        // events trimmed from the ring
+
+	// Named tracks (fleet endpoints, the campaign "client" track) live
+	// in a tid range far above any plausible worker count. The name→tid
+	// assignment survives ring trims — only the metadata emission state
+	// (tracks) resets — so a track keeps its lane for the tracer's life.
+	named   map[string]int
+	names   map[int]string // tid → display name for metadata re-emission
+	nextTID int
 }
+
+// namedTrackBase is the first tid handed to named tracks, leaving the
+// lower range to per-worker tracks.
+const namedTrackBase = 1 << 16
 
 // newTracer returns a tracer whose timestamps count from now.
 func newTracer(maxEvents int) *Tracer {
 	if maxEvents <= 0 {
 		maxEvents = DefaultTraceEvents
 	}
-	return &Tracer{start: time.Now(), max: maxEvents, tracks: map[int]bool{}}
+	return &Tracer{
+		start: time.Now(), max: maxEvents, tracks: map[int]bool{},
+		named: map[string]int{}, names: map[int]string{}, nextTID: namedTrackBase,
+	}
 }
 
 // tid maps a timeline's worker to its trace track: tid 0 is the edge
@@ -58,13 +73,114 @@ func (t *Tracer) ensureTrackLocked(tid int) {
 	}
 	t.tracks[tid] = true
 	name := "edge"
-	if tid > 0 {
+	if n, ok := t.names[tid]; ok {
+		name = n
+	} else if tid > 0 {
 		name = fmt.Sprintf("worker %d", tid-1)
 	}
 	t.events = append(t.events, simtel.Event{
 		Name: "thread_name", Ph: "M", PID: 0, TID: tid,
 		Args: map[string]any{"name": name},
 	})
+}
+
+// namedTIDLocked returns (assigning on first use) the tid of a named
+// track.
+func (t *Tracer) namedTIDLocked(track string) int {
+	if tid, ok := t.named[track]; ok {
+		return tid
+	}
+	tid := t.nextTID
+	t.nextTID++
+	t.named[track] = tid
+	t.names[tid] = track
+	return tid
+}
+
+// trimLocked drops the oldest quarter of the ring once it overflows;
+// metadata re-emits lazily because the tracks set resets.
+func (t *Tracer) trimLocked() {
+	if len(t.events) <= t.max {
+		return
+	}
+	cut := t.max / 4
+	t.drops += int64(cut)
+	t.events = append(t.events[:0], t.events[cut:]...)
+	t.tracks = map[int]bool{}
+}
+
+// AddSpan records one complete wall-clock span on a named track — the
+// fleet dispatcher's attempt/hedge spans on per-endpoint tracks, cell
+// spans on the campaign's client track, and stitched worker stages all
+// land here. Zero or negative durations are dropped, matching the
+// timeline path. Nil-safe: an unobserved component records nothing.
+func (t *Tracer) AddSpan(track, name, cat string, start time.Time, dur time.Duration, args map[string]any) {
+	if t == nil || dur <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tid := t.namedTIDLocked(track)
+	t.ensureTrackLocked(tid)
+	t.events = append(t.events, simtel.Event{
+		Name: name, Cat: cat, Ph: "X",
+		TS:  float64(start.Sub(t.start).Microseconds()),
+		Dur: float64(dur.Microseconds()),
+		PID: 0, TID: tid, Args: args,
+	})
+	t.trimLocked()
+}
+
+// AddInstant records one instant event on a named track (breaker
+// rejections, health flips). Nil-safe.
+func (t *Tracer) AddInstant(track, name, cat string, ts time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tid := t.namedTIDLocked(track)
+	t.ensureTrackLocked(tid)
+	t.events = append(t.events, simtel.Event{
+		Name: name, Cat: cat, Ph: "i",
+		TS:  float64(ts.Sub(t.start).Microseconds()),
+		PID: 0, TID: tid, Args: args,
+	})
+	t.trimLocked()
+}
+
+// AddTimeline stitches a worker-returned timeline summary onto a named
+// track: one span for the remote job itself (carrying the summary's
+// span identity, so it reads as the child of the dispatch attempt that
+// caused it) plus one child span per stage. The summary's times are
+// absolute wall-clock microseconds from the worker's clock, placed on
+// this tracer's timeline directly — ordinary NTP-level skew between
+// boxes is accepted. Nil-safe on both receiver and summary.
+func (t *Tracer) AddTimeline(track string, ts *TimelineSummary) {
+	if t == nil || ts == nil || ts.EndUS <= ts.StartUS {
+		return
+	}
+	args := map[string]any{"tier": ts.Tier, "worker": ts.Worker}
+	if ts.RequestID != "" {
+		args["request_id"] = ts.RequestID
+	}
+	if ts.TraceID != "" {
+		args["trace_id"] = ts.TraceID
+		args["span_id"] = ts.SpanID
+		args["parent_span_id"] = ts.ParentSpanID
+	}
+	start := time.UnixMicro(ts.StartUS)
+	t.AddSpan(track, ts.Name, "worker", start,
+		time.Duration(ts.EndUS-ts.StartUS)*time.Microsecond, args)
+	for _, sp := range ts.Stages {
+		sargs := map[string]any{"stage": sp.Stage}
+		if ts.TraceID != "" {
+			sargs["trace_id"] = ts.TraceID
+			sargs["parent_span_id"] = ts.SpanID
+		}
+		t.AddSpan(track, ts.Name+"/"+sp.Stage, "job", time.UnixMicro(sp.StartUS),
+			time.Duration(sp.DurUS)*time.Microsecond, sargs)
+	}
 }
 
 // addJob appends one finished job's stage spans to the ring.
@@ -92,14 +208,7 @@ func (t *Tracer) addJob(name, reqID, tier string, worker int, spans []StageSpan)
 			PID: 0, TID: tid, Args: args,
 		})
 	}
-	if len(t.events) > t.max {
-		// Trim the oldest quarter in one move; metadata events are
-		// re-emitted lazily because t.tracks is reset.
-		cut := t.max / 4
-		t.drops += int64(cut)
-		t.events = append(t.events[:0], t.events[cut:]...)
-		t.tracks = map[int]bool{}
-	}
+	t.trimLocked()
 }
 
 // Events returns a sorted copy of the ring: metadata first, then spans
